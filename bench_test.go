@@ -1,0 +1,474 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation
+// (Section 5), plus ablations for the design choices DESIGN.md calls
+// out. Custom metrics report the paper's figures of merit:
+// cycles/sec for the speed comparisons, cycle-count differences for
+// the validations. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/osmbench prints the same data as formatted tables.
+
+import (
+	"testing"
+
+	"repro/internal/baseline/hwcentric"
+	"repro/internal/baseline/sscalar"
+	"repro/internal/experiments"
+	"repro/internal/isa/arm"
+	"repro/internal/isa/ppc"
+	"repro/internal/iss"
+	"repro/internal/mem"
+	"repro/internal/sim/ppc750"
+	"repro/internal/sim/strongarm"
+	"repro/internal/workload"
+)
+
+// benchScale keeps bench iterations moderate; osmbench -scale raises it.
+const benchScale = 1
+
+func armPrograms(b *testing.B) []*arm.Program {
+	b.Helper()
+	var ps []*arm.Program
+	for _, w := range workload.All() {
+		p, err := w.ARMProgram(w.DefaultN * benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func ppcPrograms(b *testing.B) []*ppc.Program {
+	b.Helper()
+	var ps []*ppc.Program
+	for _, w := range workload.All() {
+		p, err := w.PPCProgram(w.DefaultN * benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func reportCPS(b *testing.B, cycles uint64) {
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkTable1OSMStrongARM is the simulator column of Table 1: the
+// OSM StrongARM model over the six MediaBench-like kernels.
+func BenchmarkTable1OSMStrongARM(b *testing.B) {
+	ps := armPrograms(b)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			s, err := strongarm.New(p, strongarm.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := s.Run(10_000_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += st.Cycles
+		}
+	}
+	reportCPS(b, cycles)
+}
+
+// BenchmarkTable1Oracle is the hardware column of Table 1: the
+// independent timing oracle standing in for the paper's iPAQ.
+func BenchmarkTable1Oracle(b *testing.B) {
+	ps := armPrograms(b)
+	h := mem.DefaultHierarchyConfig()
+	h.MemLatency = 23
+	h.TLBMissPenalty = 26
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			s, err := sscalar.New(p, sscalar.Config{Hier: h})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := s.Run(10_000_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += st.Cycles
+		}
+	}
+	reportCPS(b, cycles)
+}
+
+// BenchmarkTable2LineCount regenerates the Table 2 source-line
+// analysis (cheap; included so `-bench .` covers every table).
+func BenchmarkTable2LineCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkSpeedStrongARM and BenchmarkSpeedSScalar reproduce the
+// §5.1 speed comparison (paper: OSM 650k vs SimpleScalar 550k
+// cycles/sec on a P-III 1.1 GHz).
+func BenchmarkSpeedStrongARM(b *testing.B) { benchArmSpeed(b, true) }
+
+// BenchmarkSpeedSScalar is the baseline side of the §5.1 comparison.
+func BenchmarkSpeedSScalar(b *testing.B) { benchArmSpeed(b, false) }
+
+func benchArmSpeed(b *testing.B, osmModel bool) {
+	ps := armPrograms(b)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if osmModel {
+				s, err := strongarm.New(p, strongarm.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			} else {
+				s, err := sscalar.New(p, sscalar.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+		}
+	}
+	reportCPS(b, cycles)
+}
+
+// BenchmarkSpeedPPC750 and BenchmarkSpeedHWCentric reproduce the §5.2
+// speed comparison (paper: OSM 250k cycles/sec, 4x the SystemC
+// model).
+func BenchmarkSpeedPPC750(b *testing.B) { benchPPCSpeed(b, true) }
+
+// BenchmarkSpeedHWCentric is the baseline side of the §5.2 comparison.
+func BenchmarkSpeedHWCentric(b *testing.B) { benchPPCSpeed(b, false) }
+
+func benchPPCSpeed(b *testing.B, osmModel bool) {
+	ps := ppcPrograms(b)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if osmModel {
+				s, err := ppc750.New(p, ppc750.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			} else {
+				s, err := hwcentric.New(p, hwcentric.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+		}
+	}
+	reportCPS(b, cycles)
+}
+
+// BenchmarkValidatePPC750 reproduces the §5.2 timing validation: both
+// 750 implementations over the kernel mix; the reported metric is the
+// worst absolute timing difference in percent (paper: within 3%).
+func BenchmarkValidatePPC750(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ValidatePPC(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			d := r.DiffPct
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-diff-%")
+}
+
+// BenchmarkFig2WithRS and BenchmarkFig2WithoutRS quantify the paper's
+// Figure 2 multi-path OSM: dispatch into the unit or wait in its
+// reservation station.
+func BenchmarkFig2WithRS(b *testing.B) { benchFig2(b, false) }
+
+// BenchmarkFig2WithoutRS is the single-path ablation.
+func BenchmarkFig2WithoutRS(b *testing.B) { benchFig2(b, true) }
+
+func benchFig2(b *testing.B, noRS bool) {
+	ps := ppcPrograms(b)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			s, err := ppc750.New(p, ppc750.Config{NoReservationStations: noRS})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := s.Run(10_000_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += st.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationRestart measures the director's outer-loop restart
+// (paper Fig. 3) against the case studies' NoRestart optimization on
+// the StrongARM model; cycle counts are identical, only speed moves.
+func BenchmarkAblationRestart(b *testing.B) {
+	for _, restart := range []bool{false, true} {
+		name := "norestart"
+		if restart {
+			name = "restart"
+		}
+		b.Run(name, func(b *testing.B) {
+			ps := armPrograms(b)
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				for _, p := range ps {
+					s, err := strongarm.New(p, strongarm.Config{Restart: restart})
+					if err != nil {
+						b.Fatal(err)
+					}
+					st, err := s.Run(10_000_000_000)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += st.Cycles
+				}
+			}
+			reportCPS(b, cycles)
+		})
+	}
+}
+
+// BenchmarkAblationMulEarlyTermination measures the SA-110 multiplier
+// early-termination model against a fixed worst-case multiplier.
+func BenchmarkAblationMulEarlyTermination(b *testing.B) {
+	for _, fixed := range []bool{false, true} {
+		name := "early-termination"
+		if fixed {
+			name = "fixed-worst-case"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := workload.ByName("gsm/enc").ARMProgram(500 * benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				s, err := strongarm.New(p, strongarm.Config{FixedMul: fixed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationMemory sweeps the memory subsystem: perfect,
+// SA-1100 defaults and a quarter-size configuration, exposing the
+// variable-latency modeling of §4.
+func BenchmarkAblationMemory(b *testing.B) {
+	slow := mem.DefaultHierarchyConfig()
+	slow.MemLatency, slow.TLBMissPenalty = 100, 100
+	cases := []struct {
+		name string
+		h    mem.HierarchyConfig
+	}{
+		{"perfect", mem.HierarchyConfig{DisableCaches: true, DisableTLBs: true}},
+		{"sa1100", mem.DefaultHierarchyConfig()},
+		{"slow-memory", slow},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			p, err := workload.ByName("mpeg2/dec").ARMProgram(60 * benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				s, err := strongarm.New(p, strongarm.Config{Hier: c.h})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationFrontEnd sweeps the 750's front-end structures
+// (fetch queue, completion queue, dispatch width).
+func BenchmarkAblationFrontEnd(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  ppc750.Config
+	}{
+		{"750-default", ppc750.Config{}},
+		{"narrow", ppc750.Config{FetchQueue: 2, CompletionQueue: 2, DispatchWidth: 1, CompleteWidth: 1}},
+		{"wide", ppc750.Config{FetchQueue: 12, CompletionQueue: 12, RenameBuffers: 12}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			p, err := workload.ByName("g721/enc").PPCProgram(800 * benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				s, err := ppc750.New(p, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles")
+		})
+	}
+}
+
+// BenchmarkISSFunctional measures raw functional (instruction-set)
+// simulation speed, the substrate both timing models drive.
+func BenchmarkISSFunctional(b *testing.B) {
+	p, err := workload.ByName("gsm/dec").ARMProgram(500 * benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		s, err := newARMISS(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(1_000_000_000); err != nil {
+			b.Fatal(err)
+		}
+		instrs += s.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/sec")
+}
+
+// newARMISS builds the functional simulator for BenchmarkISSFunctional.
+func newARMISS(p *arm.Program) (*iss.ARM, error) { return iss.NewARM(p, 1024) }
+
+// BenchmarkAblationL2 measures the optional back-side L2 cache with a
+// working set that overflows the first-level D-cache (a 64 KiB array
+// swept repeatedly) but fits comfortably in a 256 KiB L2.
+func BenchmarkAblationL2(b *testing.B) {
+	base := mem.HierarchyConfig{
+		ICacheKB: 8, DCacheKB: 8, Ways: 2, LineBytes: 32,
+		MemLatency: 60, TLBEntries: 64, TLBMissPenalty: 0, WriteBack: true,
+	}
+	withL2 := base
+	withL2.L2KB = 256
+	withL2.L2Latency = 6
+	// Sweep a 64 KiB array line by line, eight passes.
+	sweep := `
+	li r6, 8
+outer:
+	lis r4, 2            ; base 0x20000
+	li r5, 2048          ; 2048 lines of 32 bytes
+loop:
+	lwz r3, 0(r4)
+	addi r4, r4, 32
+	addi r5, r5, -1
+	cmpwi r5, 0
+	bgt loop
+	addi r6, r6, -1
+	cmpwi r6, 0
+	bgt outer
+	li r3, 0
+	li r0, 1
+	sc
+`
+	p, err := ppc.Assemble(sweep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		h    mem.HierarchyConfig
+	}{
+		{"no-L2", base},
+		{"with-256KB-L2", withL2},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				s, err := ppc750.New(p, ppc750.Config{Hier: c.h})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run(10_000_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles")
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Osmasm assembles ARM- or PowerPC-subset assembly into the
+// framework's program-image format, and disassembles images back.
+//
+// Usage:
+//
+//	osmasm -arch arm -o prog.bin prog.s
+//	osmasm -d prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa/arm"
+	"repro/internal/isa/ppc"
+	"repro/internal/loader"
+)
+
+func main() {
+	var (
+		arch = flag.String("arch", "arm", "target architecture: arm or ppc")
+		out  = flag.String("o", "a.bin", "output image path")
+		dis  = flag.Bool("d", false, "disassemble an image instead of assembling")
+		org  = flag.Uint("org", 0, "load origin")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: osmasm [-arch arm|ppc] [-o out.bin] file.s | osmasm -d image.bin")
+		os.Exit(2)
+	}
+	if *dis {
+		if err := disassemble(flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "osmasm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := assemble(*arch, flag.Arg(0), *out, uint32(*org)); err != nil {
+		fmt.Fprintln(os.Stderr, "osmasm:", err)
+		os.Exit(1)
+	}
+}
+
+func assemble(arch, inPath, outPath string, org uint32) error {
+	src, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	var im *loader.Image
+	switch arch {
+	case "arm":
+		p, err := arm.AssembleAt(string(src), org)
+		if err != nil {
+			return err
+		}
+		im = &loader.Image{Arch: loader.ArchARM, Org: p.Org, Entry: p.Entry, Words: p.Words}
+	case "ppc":
+		p, err := ppc.AssembleAt(string(src), org)
+		if err != nil {
+			return err
+		}
+		im = &loader.Image{Arch: loader.ArchPPC, Org: p.Org, Entry: p.Entry, Words: p.Words}
+	default:
+		return fmt.Errorf("unknown architecture %q", arch)
+	}
+	if err := os.WriteFile(outPath, im.Marshal(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d words, entry %#x\n", outPath, len(im.Words), im.Entry)
+	return nil
+}
+
+func disassemble(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	im, err := loader.Unmarshal(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("; %s image, org %#x, entry %#x\n", im.Arch, im.Org, im.Entry)
+	for i, w := range im.Words {
+		addr := im.Org + uint32(4*i)
+		var text string
+		if im.Arch == loader.ArchARM {
+			text = arm.Disassemble(w)
+		} else {
+			text = ppc.Disassemble(w)
+		}
+		fmt.Printf("%08x:  %08x  %s\n", addr, w, text)
+	}
+	return nil
+}

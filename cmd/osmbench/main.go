@@ -1,0 +1,100 @@
+// Osmbench regenerates the tables and figures of the paper's
+// evaluation (Section 5). See EXPERIMENTS.md for the paper-versus-
+// measured record.
+//
+// Usage:
+//
+//	osmbench -all
+//	osmbench -table 1        # StrongARM validation (paper Table 1)
+//	osmbench -table 2        # source code line counts (paper Table 2)
+//	osmbench -speed arm      # OSM vs SimpleScalar-style speed (§5.1)
+//	osmbench -speed ppc      # OSM vs SystemC-style speed (§5.2)
+//	osmbench -validate       # PPC-750 timing validation (§5.2)
+//	osmbench -fig2           # reservation-station paths (Figure 2)
+//	osmbench -scale 4        # iteration-count multiplier
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate paper table 1 or 2")
+		speed    = flag.String("speed", "", "speed comparison: arm or ppc")
+		validate = flag.Bool("validate", false, "PPC-750 timing validation")
+		fig2     = flag.Bool("fig2", false, "reservation-station (Figure 2) comparison")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Int("scale", experiments.DefaultScale, "workload iteration multiplier")
+	)
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "osmbench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		ran = true
+		rows, err := experiments.Table1(*scale)
+		if err != nil {
+			fail(err)
+		}
+		experiments.Table1Table(rows).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *table == 2 {
+		ran = true
+		rows, baselines, err := experiments.Table2()
+		if err != nil {
+			fail(err)
+		}
+		experiments.Table2Table(rows, baselines).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *speed == "arm" {
+		ran = true
+		rs, err := experiments.SpeedARM(*scale)
+		if err != nil {
+			fail(err)
+		}
+		experiments.SpeedTable("Simulation speed: StrongARM (paper §5.1: OSM 650k vs SimpleScalar 550k cyc/s)", rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *speed == "ppc" {
+		ran = true
+		rs, err := experiments.SpeedPPC(*scale)
+		if err != nil {
+			fail(err)
+		}
+		experiments.SpeedTable("Simulation speed: PPC-750 (paper §5.2: OSM at 4x the SystemC model)", rs).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *validate {
+		ran = true
+		rows, err := experiments.ValidatePPC(*scale)
+		if err != nil {
+			fail(err)
+		}
+		experiments.ValidateTable(rows).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *fig2 {
+		ran = true
+		rows, err := experiments.Fig2(*scale)
+		if err != nil {
+			fail(err)
+		}
+		experiments.Fig2Table(rows).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,255 @@
+// Osmsim is the retargetable simulator driver: it runs a program — a
+// built-in benchmark kernel, an assembly file or a program image — on
+// one of the framework's processor models and reports timing
+// statistics.
+//
+// Usage:
+//
+//	osmsim -target strongarm -workload gsm/enc -n 500
+//	osmsim -target ppc750 -src prog.s
+//	osmsim -target arm-iss -image prog.bin
+//
+// Targets: strongarm (OSM model), sscalar (hand-coded baseline),
+// ppc750 (OSM model), hwcentric (SystemC-style baseline), arm-iss and
+// ppc-iss (functional simulation only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline/hwcentric"
+	"repro/internal/baseline/sscalar"
+	"repro/internal/isa/arm"
+	"repro/internal/isa/ppc"
+	"repro/internal/iss"
+	"repro/internal/loader"
+	"repro/internal/mem"
+	"repro/internal/sim/ppc750"
+	"repro/internal/sim/strongarm"
+	"repro/internal/workload"
+)
+
+var (
+	target    = flag.String("target", "strongarm", "strongarm | sscalar | ppc750 | hwcentric | arm-iss | ppc-iss")
+	wlName    = flag.String("workload", "", "built-in kernel (gsm/*, g721/*, mpeg2/* enc|dec; spec/crc, spec/bitcnt, dsp/fir)")
+	iters     = flag.Int("n", 0, "workload iteration count (0 = kernel default)")
+	srcPath   = flag.String("src", "", "assembly source file to run")
+	imagePath = flag.String("image", "", "program image to run")
+	maxCycles = flag.Uint64("cycles", 1_000_000_000, "cycle budget")
+	perfect   = flag.Bool("perfect", false, "disable caches and TLBs")
+	trace     = flag.Bool("trace", false, "print every executed instruction")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "osmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func isARM() bool {
+	switch *target {
+	case "strongarm", "sscalar", "arm-iss":
+		return true
+	}
+	return false
+}
+
+// programs loads/assembles the requested program for the target ISA.
+func programs() (*arm.Program, *ppc.Program, error) {
+	switch {
+	case *wlName != "":
+		w := workload.ByName(*wlName)
+		if w == nil {
+			return nil, nil, fmt.Errorf("unknown workload %q", *wlName)
+		}
+		n := *iters
+		if n == 0 {
+			n = w.DefaultN
+		}
+		if isARM() {
+			p, err := w.ARMProgram(n)
+			return p, nil, err
+		}
+		p, err := w.PPCProgram(n)
+		return nil, p, err
+	case *srcPath != "":
+		src, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if isARM() {
+			p, err := arm.Assemble(string(src))
+			return p, nil, err
+		}
+		p, err := ppc.Assemble(string(src))
+		return nil, p, err
+	case *imagePath != "":
+		data, err := os.ReadFile(*imagePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		im, err := loader.Unmarshal(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case im.Arch == loader.ArchARM && isARM():
+			return &arm.Program{Org: im.Org, Entry: im.Entry, Words: im.Words}, nil, nil
+		case im.Arch == loader.ArchPPC && !isARM():
+			return nil, &ppc.Program{Org: im.Org, Entry: im.Entry, Words: im.Words}, nil
+		}
+		return nil, nil, fmt.Errorf("image architecture %s does not match target %s", im.Arch, *target)
+	}
+	return nil, nil, fmt.Errorf("one of -workload, -src or -image is required")
+}
+
+func hier() mem.HierarchyConfig {
+	if *perfect {
+		return mem.HierarchyConfig{DisableCaches: true, DisableTLBs: true}
+	}
+	return mem.HierarchyConfig{}
+}
+
+func run() error {
+	armProg, ppcProg, err := programs()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	switch *target {
+	case "strongarm":
+		s, err := strongarm.New(armProg, strongarm.Config{Hier: hier()})
+		if err != nil {
+			return err
+		}
+		if *trace {
+			s.ISS.Trace = armTracer()
+		}
+		st, err := s.Run(*maxCycles)
+		if err != nil {
+			return err
+		}
+		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
+			"CPI":       fmt.Sprintf("%.3f", st.CPI()),
+			"redirects": fmt.Sprint(st.Redirects),
+			"icache":    cacheLine(st.ICache),
+			"dcache":    cacheLine(st.DCache),
+		})
+	case "sscalar":
+		s, err := sscalar.New(armProg, sscalar.Config{Hier: hier()})
+		if err != nil {
+			return err
+		}
+		st, err := s.Run(*maxCycles)
+		if err != nil {
+			return err
+		}
+		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
+			"CPI": fmt.Sprintf("%.3f", st.CPI()),
+		})
+	case "ppc750":
+		s, err := ppc750.New(ppcProg, ppc750.Config{Hier: hier()})
+		if err != nil {
+			return err
+		}
+		if *trace {
+			s.ISS.Trace = ppcTracer()
+		}
+		st, err := s.Run(*maxCycles)
+		if err != nil {
+			return err
+		}
+		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
+			"IPC":         fmt.Sprintf("%.3f", st.IPC()),
+			"mispredicts": fmt.Sprint(st.Mispredicts),
+			"bht":         fmt.Sprintf("%.1f%%", 100*st.BHTAccuracy),
+			"icache":      cacheLine(st.ICache),
+			"dcache":      cacheLine(st.DCache),
+		})
+	case "hwcentric":
+		s, err := hwcentric.New(ppcProg, hwcentric.Config{Hier: hier()})
+		if err != nil {
+			return err
+		}
+		st, err := s.Run(*maxCycles)
+		if err != nil {
+			return err
+		}
+		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
+			"CPI":   fmt.Sprintf("%.3f", st.CPI()),
+			"wires": fmt.Sprint(st.Wires),
+			"evals": fmt.Sprint(st.ModuleEvals),
+		})
+	case "arm-iss":
+		s, err := iss.NewARM(armProg, 1024)
+		if err != nil {
+			return err
+		}
+		s.Out = os.Stdout
+		if *trace {
+			s.Trace = armTracer()
+		}
+		if err := s.Run(*maxCycles); err != nil {
+			return err
+		}
+		report(start, 0, s.Stats.Instrs, s.Reported, nil)
+	case "ppc-iss":
+		s, err := iss.NewPPC(ppcProg, 1024)
+		if err != nil {
+			return err
+		}
+		s.Out = os.Stdout
+		if *trace {
+			s.Trace = ppcTracer()
+		}
+		if err := s.Run(*maxCycles); err != nil {
+			return err
+		}
+		report(start, 0, s.Stats.Instrs, s.Reported, nil)
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+	return nil
+}
+
+func armTracer() func(pc uint32, ins arm.Instr) {
+	return func(pc uint32, ins arm.Instr) {
+		fmt.Printf("%08x:  %s\n", pc, ins.String())
+	}
+}
+
+func ppcTracer() func(pc uint32, ins ppc.Instr) {
+	return func(pc uint32, ins ppc.Instr) {
+		fmt.Printf("%08x:  %s\n", pc, ins.String())
+	}
+}
+
+func cacheLine(s mem.CacheStats) string {
+	return fmt.Sprintf("%d acc, %.2f%% hit", s.Accesses, 100*s.HitRate())
+}
+
+func report(start time.Time, cycles, instrs uint64, reported []uint32, extra map[string]string) {
+	wall := time.Since(start)
+	fmt.Printf("instructions: %d\n", instrs)
+	if cycles > 0 {
+		fmt.Printf("cycles:       %d\n", cycles)
+		fmt.Printf("speed:        %.0f cycles/sec\n", float64(cycles)/wall.Seconds())
+	}
+	fmt.Printf("wall time:    %s\n", wall.Round(time.Microsecond))
+	if len(reported) > 0 {
+		vals := make([]string, len(reported))
+		for i, v := range reported {
+			vals[i] = fmt.Sprintf("%#x", v)
+		}
+		fmt.Printf("reported:     %s\n", strings.Join(vals, " "))
+	}
+	for k, v := range extra {
+		fmt.Printf("%-13s %s\n", k+":", v)
+	}
+}

@@ -1,0 +1,158 @@
+// Package adl implements the architecture description language the
+// paper names as its next step: "to devise an architecture
+// description language based on the OSM model and to implement a
+// retargetable microprocessor modeling framework" (Section 7).
+//
+// Because the OSM specification is purely declarative — states, edges
+// and token-transaction conditions — everything except operation
+// semantics can be written as text and synthesized into a runnable
+// model. A description looks like:
+//
+//	model pipeline {
+//	  managers {
+//	    unit    IF(1); unit ID(1); unit EX(1);
+//	    regfile RF(16);
+//	    reset   RESET;
+//	    pool    FQ(6);
+//	    queue   CQ(6);
+//	  }
+//	  states { I*, F, D, E }
+//	  edges {
+//	    e0: I -> F [ alloc IF.0 ];
+//	    e1: F -> D [ release IF.0, alloc ID.0 ];
+//	    e2: D -> E [ release ID.0, alloc EX.0,
+//	                 inquire RF.$src, alloc RF.!$dst ];
+//	    e3: E -> I [ release EX.0, release RF.!$dst ];
+//	    r0: F -> I reset;
+//	  }
+//	  machines 6;
+//	}
+//
+// Manager kinds map to the reusable token-manager library of package
+// osm. Identifiers take three forms: a number (fixed unit), `*` (any
+// unit) or `$name` (dynamic — resolved through a host-registered
+// binding function, the "decode initializes the identifiers" step of
+// the paper's Section 4). A `!` prefix addresses a register-update
+// token of a regfile manager. Edges are prioritized in source order;
+// an edge marked `reset` becomes a canonical high-priority reset edge
+// (inquire the named reset manager — by default the sole reset
+// manager — and discard all tokens). Operation semantics attach from
+// the host side via Model.OnEdge and Model.OnWhen.
+package adl
+
+import "fmt"
+
+// Position locates an error in the source text.
+type Position struct {
+	Line, Col int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a parse or elaboration error with its position.
+type Error struct {
+	Pos Position
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("adl: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Position, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ManagerKind enumerates the manager types a description may declare.
+type ManagerKind int
+
+// Manager kinds, mapping onto the osm package's reusable library.
+const (
+	KindUnit ManagerKind = iota
+	KindRegFile
+	KindPool
+	KindQueue
+	KindReset
+	KindBypass
+)
+
+var kindNames = map[string]ManagerKind{
+	"unit": KindUnit, "regfile": KindRegFile, "pool": KindPool,
+	"queue": KindQueue, "reset": KindReset, "bypass": KindBypass,
+}
+
+func (k ManagerKind) String() string {
+	for n, v := range kindNames {
+		if v == k {
+			return n
+		}
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ManagerDecl declares one token manager.
+type ManagerDecl struct {
+	Pos  Position
+	Kind ManagerKind
+	Name string
+	// Arg is the unit/register/entry count (unused for reset and
+	// bypass managers).
+	Arg int
+}
+
+// PrimOp enumerates the Λ primitives in descriptions.
+type PrimOp int
+
+// Primitive operations.
+const (
+	PrimAlloc PrimOp = iota
+	PrimInquire
+	PrimRelease
+	PrimDiscard
+)
+
+var primNames = map[string]PrimOp{
+	"alloc": PrimAlloc, "inquire": PrimInquire,
+	"release": PrimRelease, "discard": PrimDiscard,
+}
+
+// IDForm distinguishes the identifier syntaxes.
+type IDForm int
+
+// Identifier forms.
+const (
+	IDFixed IDForm = iota // N
+	IDAny                 // *
+	IDBound               // $name
+)
+
+// PrimDecl is one conjunct of an edge condition.
+type PrimDecl struct {
+	Pos     Position
+	Op      PrimOp
+	Manager string
+	Form    IDForm
+	Fixed   int64
+	Binding string
+	// Update addresses a regfile update token (`!` prefix).
+	Update bool
+	// All marks `discard *` with no manager (drop the whole buffer).
+	All bool
+}
+
+// EdgeDecl is one transition.
+type EdgeDecl struct {
+	Pos      Position
+	Name     string
+	From, To string
+	Reset    bool
+	Prims    []PrimDecl
+}
+
+// Spec is a parsed description.
+type Spec struct {
+	Name     string
+	Managers []ManagerDecl
+	States   []string
+	Initial  string
+	Edges    []EdgeDecl
+	Machines int
+}

@@ -1,0 +1,425 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/osm"
+)
+
+const pipelineSrc = `
+// The paper's Figure 5/6 pipeline as a description.
+model pipeline {
+  managers {
+    unit    IF(1); unit ID(1); unit EX(1); unit BF(1); unit WB(1);
+    regfile RF(16);
+    reset   RESET;
+  }
+  states { I*, F, D, E, B, W }
+  edges {
+    e0: I -> F [ alloc IF.0 ];
+    e1: F -> D [ release IF.0, alloc ID.0 ];
+    e2: D -> E [ release ID.0, inquire RF.$src, alloc EX.0, alloc RF.!$dst ];
+    e3: E -> B [ release EX.0, alloc BF.0 ];
+    e4: B -> W [ release BF.0, alloc WB.0 ];
+    e5: W -> I [ release WB.0, release RF.!$dst ];
+    r0: F -> I reset;
+    r1: D -> I reset;
+  }
+  machines 6;
+}
+`
+
+func TestParsePipeline(t *testing.T) {
+	spec, err := Parse(pipelineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "pipeline" || spec.Initial != "I" || spec.Machines != 6 {
+		t.Fatalf("spec header wrong: %+v", spec)
+	}
+	if len(spec.Managers) != 7 || len(spec.States) != 6 || len(spec.Edges) != 8 {
+		t.Fatalf("spec sizes wrong: %d managers, %d states, %d edges",
+			len(spec.Managers), len(spec.States), len(spec.Edges))
+	}
+	e2 := spec.Edges[2]
+	if e2.Name != "e2" || len(e2.Prims) != 4 {
+		t.Fatalf("e2 wrong: %+v", e2)
+	}
+	if e2.Prims[1].Form != IDBound || e2.Prims[1].Binding != "src" {
+		t.Fatalf("e2 inquire wrong: %+v", e2.Prims[1])
+	}
+	if !e2.Prims[3].Update || e2.Prims[3].Binding != "dst" {
+		t.Fatalf("e2 alloc-update wrong: %+v", e2.Prims[3])
+	}
+	if !spec.Edges[6].Reset {
+		t.Fatal("r0 must be a reset edge")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", `expected "model"`},
+		{"model m { states { A } }", "no initial state"},
+		{"model m { states { A* } machines 0; }", "not positive"},
+		{"model m { states { A*, A } machines 1; }", "duplicate state"},
+		{"model m { bogus { } }", "unknown section"},
+		{"model m { managers { widget W(1); } states { A* } machines 1; }", "unknown manager kind"},
+		{"model m { managers { unit U(0); } states { A* } machines 1; }", "positive size"},
+		{"model m { managers { unit U(1); unit U(2); } states { A* } machines 1; }", "duplicate manager"},
+		{"model m { states { A*, B } edges { e: A -> C; } machines 1; }", "unknown destination"},
+		{"model m { states { A*, B } edges { e: C -> A; } machines 1; }", "unknown source"},
+		{"model m { states { A*, B } edges { e: A -> B [ alloc X.0 ]; } machines 1; }", "unknown manager"},
+		{"model m { states { A*, B } edges { e: A -> B; e: B -> A; } machines 1; }", "duplicate edge"},
+		{"model m { states { A*, B } edges { r: B -> A reset; } machines 1; }", "no reset manager"},
+		{"model m { managers { reset R; } states { A*, B } edges { r: A -> B reset; } machines 1; }", "must return to the initial"},
+		{"model m { managers { unit U(1); } states { A*, B } edges { e: A -> B [ alloc U.!0 ]; } machines 1; }", "require a regfile"},
+		{"model m { states { A* } machines 1; } trailing", "after model"},
+		{"model m { states { A* } machines 1; @ }", "unexpected character"},
+		{"model m { states { A*, B } edges { e: A - B; } machines 1; }", "unexpected '-'"},
+		{"model m { states { A*, B } edges { e: A -> B [ frobnicate U.0 ]; } machines 1; }", "unknown primitive"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+// opCtx is the test operation payload behind the bindings.
+type opCtx struct {
+	dst, src int
+	imm      uint64
+	v        uint64
+}
+
+func buildPipeline(t *testing.T, prog []opCtx) (*Model, *osm.RegFileManager, *int) {
+	t.Helper()
+	pc := 0
+	model, err := Build(pipelineSrc, map[string]Binding{
+		"src": func(m *osm.Machine) osm.TokenID { return osm.TokenID(m.Ctx.(*opCtx).src) },
+		"dst": func(m *osm.Machine) osm.TokenID { return osm.TokenID(m.Ctx.(*opCtx).dst) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := model.Manager("RF").(*osm.RegFileManager)
+	if err := model.OnWhen("e0", func(m *osm.Machine) bool { return pc < len(prog) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.OnEdge("e0", func(m *osm.Machine) {
+		ins := prog[pc]
+		pc++
+		m.Ctx = &ins
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.OnEdge("e2", func(m *osm.Machine) {
+		op := m.Ctx.(*opCtx)
+		op.v = rf.Read(op.src) + op.imm
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.OnEdge("e3", func(m *osm.Machine) {
+		op := m.Ctx.(*opCtx)
+		if err := m.SetData(rf, osm.UpdateToken(op.dst), op.v); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return model, rf, &pc
+}
+
+func TestElaboratedPipelineRuns(t *testing.T) {
+	prog := []opCtx{
+		{dst: 1, src: 0, imm: 5},
+		{dst: 2, src: 1, imm: 3}, // depends on the first
+	}
+	model, rf, _ := buildPipeline(t, prog)
+	retired := 0
+	model.Edge("e5").Action = func(m *osm.Machine) { retired++ }
+	steps := 0
+	for retired < len(prog) && steps < 100 {
+		if err := model.Director.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if retired != len(prog) {
+		t.Fatalf("only %d/%d retired in %d steps", retired, len(prog), steps)
+	}
+	if got := rf.Read(2); got != 8 {
+		t.Fatalf("r2 = %d, want 8 (dependent value through the ADL model)", got)
+	}
+	// The data hazard must cost the same stall as the hand-built
+	// model in the osm package's pipeline test: 9 steps total.
+	if steps != 9 {
+		t.Fatalf("dependent pair took %d steps, want 9", steps)
+	}
+}
+
+func TestElaboratedResetEdgeWorks(t *testing.T) {
+	prog := []opCtx{{dst: 1, src: 0, imm: 1}, {dst: 2, src: 0, imm: 2}}
+	model, _, _ := buildPipeline(t, prog)
+	reset := model.Manager("RESET").(*osm.ResetManager)
+	model.Director.Step() // op0 -> F
+	model.Director.Step() // op0 -> D, op1 -> F
+	var squashed []*osm.Machine
+	for _, m := range model.Director.Machines() {
+		if !m.InInitial() {
+			reset.Mark(m)
+			squashed = append(squashed, m)
+		}
+	}
+	if len(squashed) != 2 {
+		t.Fatalf("expected 2 in-flight ops, got %d", len(squashed))
+	}
+	if err := model.Director.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range squashed {
+		if !m.InInitial() || len(m.Tokens()) != 0 {
+			t.Fatalf("machine %s not squashed by the ADL reset edge", m.Name)
+		}
+	}
+}
+
+func TestElaboratedModelValidates(t *testing.T) {
+	model, _, _ := buildPipeline(t, nil)
+	if issues := model.Validate(16); len(issues) != 0 {
+		t.Fatalf("ADL pipeline should validate cleanly: %v", issues)
+	}
+}
+
+func TestElaborateMissingBinding(t *testing.T) {
+	_, err := Build(pipelineSrc, map[string]Binding{
+		"src": func(m *osm.Machine) osm.TokenID { return 0 },
+		// dst missing
+	})
+	if err == nil || !strings.Contains(err.Error(), "$dst") {
+		t.Fatalf("err = %v, want missing-binding error for $dst", err)
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	model, _, _ := buildPipeline(t, nil)
+	if model.Manager("IF") == nil || model.State("D") == nil || model.Edge("e2") == nil {
+		t.Fatal("accessors must find declared entities")
+	}
+	if model.Manager("nope") != nil || model.State("nope") != nil || model.Edge("nope") != nil {
+		t.Fatal("accessors must return nil for unknown names")
+	}
+	if err := model.OnEdge("nope", nil); err == nil {
+		t.Fatal("OnEdge of unknown edge must error")
+	}
+	if err := model.OnWhen("nope", nil); err == nil {
+		t.Fatal("OnWhen of unknown edge must error")
+	}
+}
+
+func TestManagerKindsElaborate(t *testing.T) {
+	src := `
+model kinds {
+  managers {
+    unit U(2); regfile R(8); pool P(3); queue Q(4); reset X; bypass B;
+  }
+  states { I*, S }
+  edges {
+    a: I -> S [ alloc U.*, alloc P.*, alloc Q.* ];
+    b: S -> I [ release U.*, release P.*, release Q.*, discard * ];
+  }
+  machines 2;
+}
+`
+	model, err := Build(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := model.Manager("U").(*osm.UnitManager); !ok {
+		t.Error("U should be a UnitManager")
+	}
+	if _, ok := model.Manager("R").(*osm.RegFileManager); !ok {
+		t.Error("R should be a RegFileManager")
+	}
+	if _, ok := model.Manager("P").(*osm.PoolManager); !ok {
+		t.Error("P should be a PoolManager")
+	}
+	if _, ok := model.Manager("Q").(*osm.QueueManager); !ok {
+		t.Error("Q should be a QueueManager")
+	}
+	if _, ok := model.Manager("X").(*osm.ResetManager); !ok {
+		t.Error("X should be a ResetManager")
+	}
+	if _, ok := model.Manager("B").(*osm.BypassManager); !ok {
+		t.Error("B should be a BypassManager")
+	}
+	// The ring must run: two machines cycling through allocate all /
+	// release all.
+	for k := 0; k < 10; k++ {
+		if err := model.Director.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReleaseFAnyUnit(t *testing.T) {
+	// `release U.*` must resolve against the held token.
+	src := `
+model anyrel {
+  managers { unit U(3); }
+  states { I*, S }
+  edges {
+    a: I -> S [ alloc U.* ];
+    b: S -> I [ release U.* ];
+  }
+  machines 3;
+}
+`
+	model, err := Build(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := model.Manager("U").(*osm.UnitManager)
+	model.Director.Step()
+	if u.Free() != 0 {
+		t.Fatalf("all three units should be taken, free=%d", u.Free())
+	}
+	model.Director.Step()
+	if u.Free() != 3 { // each machine transitions at most once per step
+		t.Fatalf("all units should be released, free=%d", u.Free())
+	}
+	model.Director.Step()
+	if u.Free() != 0 {
+		t.Fatalf("units should be re-acquired next step, free=%d", u.Free())
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	spec, err := Parse(pipelineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(spec)
+	spec2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of formatted text failed: %v\n%s", err, text)
+	}
+	// Structural equivalence.
+	if spec2.Name != spec.Name || spec2.Initial != spec.Initial || spec2.Machines != spec.Machines {
+		t.Fatalf("header mismatch: %+v vs %+v", spec2, spec)
+	}
+	if len(spec2.Managers) != len(spec.Managers) || len(spec2.States) != len(spec.States) ||
+		len(spec2.Edges) != len(spec.Edges) {
+		t.Fatalf("section sizes changed:\n%s", text)
+	}
+	for i := range spec.Edges {
+		a, b := spec.Edges[i], spec2.Edges[i]
+		if a.Name != b.Name || a.From != b.From || a.To != b.To || a.Reset != b.Reset ||
+			len(a.Prims) != len(b.Prims) {
+			t.Fatalf("edge %d changed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Prims {
+			pa, pb := a.Prims[j], b.Prims[j]
+			if pa.Op != pb.Op || pa.Manager != pb.Manager || pa.Form != pb.Form ||
+				pa.Fixed != pb.Fixed || pa.Binding != pb.Binding ||
+				pa.Update != pb.Update || pa.All != pb.All {
+				t.Fatalf("edge %s prim %d changed: %+v vs %+v", a.Name, j, pa, pb)
+			}
+		}
+	}
+	// Formatting is a fixed point after the first round.
+	if Format(spec2) != text {
+		t.Fatal("Format is not a fixed point")
+	}
+}
+
+func TestFormatAllManagerKinds(t *testing.T) {
+	src := `
+model kinds {
+  managers { unit U(2); regfile R(8); pool P(3); queue Q(4); reset X; bypass B; }
+  states { I*, S }
+  edges {
+    a: I -> S [ alloc U.*, inquire R.5, alloc R.!$d, discard * ];
+  }
+  machines 1;
+}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(spec)
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	for _, want := range []string{"unit U(2)", "reset X;", "bypass B;", "alloc R.!$d", "discard *", "inquire R.5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The ADL can express the paper's Figure 2 machine: two prioritized
+// dispatch paths out of a ready state — straight into the function
+// unit, or into its reservation station when the unit is busy.
+func TestFig2MultiPathInADL(t *testing.T) {
+	src := `
+model fig2 {
+  managers {
+    unit FU(1);
+    unit RS(1);
+  }
+  states { I*, R, W, E }
+  edges {
+    fetch: I -> R;
+    fast:  R -> E [ alloc FU.0 ];            // preferred path
+    slow:  R -> W [ alloc RS.0 ];            // wait in the station
+    issue: W -> E [ release RS.0, alloc FU.0 ];
+    done:  E -> I [ release FU.0 ];
+  }
+  machines 3;
+}
+`
+	model, err := Build(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.Director
+	ms := d.Machines()
+	step := func() {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // all three fetch into R
+	step() // op0 takes the fast path; op1 falls to the RS; op2 stuck in R
+	if ms[0].State().Name != "E" {
+		t.Errorf("op0 in %s, want E (fast path)", ms[0].State().Name)
+	}
+	if ms[1].State().Name != "W" {
+		t.Errorf("op1 in %s, want W (reservation station)", ms[1].State().Name)
+	}
+	if ms[2].State().Name != "R" {
+		t.Errorf("op2 in %s, want R (both paths blocked)", ms[2].State().Name)
+	}
+	step() // op0 done; op1 issues from the RS in the same step
+	if ms[1].State().Name != "E" {
+		t.Errorf("op1 in %s, want E (issued from RS on FU handoff)", ms[1].State().Name)
+	}
+	// op2 takes whichever path freed: the RS emptied this step.
+	if ms[2].State().Name != "W" {
+		t.Errorf("op2 in %s, want W", ms[2].State().Name)
+	}
+	// The whole graph still validates statically.
+	if issues := model.Validate(10); len(issues) != 0 {
+		t.Fatalf("fig2 model should validate: %v", issues)
+	}
+}

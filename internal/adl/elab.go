@@ -1,0 +1,190 @@
+package adl
+
+import (
+	"fmt"
+
+	"repro/internal/osm"
+)
+
+// Binding resolves a `$name` identifier against the requesting
+// machine, typically by reading its decoded-operation context.
+type Binding func(m *osm.Machine) osm.TokenID
+
+// Model is an elaborated, runnable OSM model.
+type Model struct {
+	// Spec is the description the model was built from.
+	Spec *Spec
+	// Director owns the machines and managers.
+	Director *osm.Director
+
+	states   map[string]*osm.State
+	managers map[string]osm.TokenManager
+	edges    map[string]*osm.Edge
+}
+
+// Elaborate synthesizes the runnable model: managers from the
+// reusable library, states, prioritized edges with their token
+// conditions, reset edges, and the machine population. Every `$name`
+// identifier in the description must have a binding.
+func Elaborate(spec *Spec, bindings map[string]Binding) (*Model, error) {
+	m := &Model{
+		Spec:     spec,
+		Director: osm.NewDirector(),
+		states:   make(map[string]*osm.State),
+		managers: make(map[string]osm.TokenManager),
+		edges:    make(map[string]*osm.Edge),
+	}
+	var resetMgr *osm.ResetManager
+	for _, d := range spec.Managers {
+		var mgr osm.TokenManager
+		switch d.Kind {
+		case KindUnit:
+			mgr = osm.NewUnitManager(d.Name, d.Arg)
+		case KindRegFile:
+			mgr = osm.NewRegFileManager(d.Name, d.Arg)
+		case KindPool:
+			mgr = osm.NewPoolManager(d.Name, d.Arg)
+		case KindQueue:
+			mgr = osm.NewQueueManager(d.Name, d.Arg)
+		case KindReset:
+			r := osm.NewResetManager(d.Name)
+			resetMgr = r
+			mgr = r
+		case KindBypass:
+			mgr = osm.NewBypassManager(d.Name)
+		default:
+			return nil, errf(d.Pos, "unsupported manager kind %v", d.Kind)
+		}
+		m.managers[d.Name] = mgr
+		m.Director.AddManager(mgr)
+	}
+
+	for _, s := range spec.States {
+		m.states[s] = osm.NewState(s)
+	}
+	initial := m.states[spec.Initial]
+
+	for _, e := range spec.Edges {
+		if e.Reset {
+			if len(e.Prims) > 0 {
+				return nil, errf(e.Pos, "edge %s: reset edges take no explicit primitives", e.Name)
+			}
+			re := osm.ResetEdge(m.states[e.From], initial, resetMgr)
+			re.Name = e.Name
+			m.edges[e.Name] = re
+			continue
+		}
+		prims := make([]osm.Primitive, 0, len(e.Prims))
+		for _, pd := range e.Prims {
+			prim, err := m.buildPrim(pd, bindings)
+			if err != nil {
+				return nil, err
+			}
+			prims = append(prims, prim)
+		}
+		edge := m.states[e.From].Connect(e.Name, m.states[e.To], prims...)
+		m.edges[e.Name] = edge
+	}
+
+	for k := 0; k < spec.Machines; k++ {
+		m.Director.AddMachine(osm.NewMachine(fmt.Sprintf("op%d", k), initial))
+	}
+	return m, nil
+}
+
+func (m *Model) buildPrim(pd PrimDecl, bindings map[string]Binding) (osm.Primitive, error) {
+	if pd.All {
+		return osm.Discard(nil, osm.AllTokens), nil
+	}
+	mgr := m.managers[pd.Manager]
+	idOf := func(raw osm.TokenID) osm.TokenID {
+		if pd.Update {
+			return osm.UpdateToken(int(raw))
+		}
+		return raw
+	}
+	var fixed osm.TokenID
+	var dyn osm.IDFunc
+	switch pd.Form {
+	case IDFixed:
+		fixed = idOf(osm.TokenID(pd.Fixed))
+	case IDAny:
+		fixed = osm.AnyUnit
+	case IDBound:
+		b, ok := bindings[pd.Binding]
+		if !ok {
+			return osm.Primitive{}, errf(pd.Pos, "no binding registered for $%s", pd.Binding)
+		}
+		dyn = func(mach *osm.Machine) osm.TokenID { return idOf(b(mach)) }
+	}
+	switch pd.Op {
+	case PrimAlloc:
+		if dyn != nil {
+			return osm.AllocF(mgr, dyn), nil
+		}
+		return osm.Alloc(mgr, fixed), nil
+	case PrimInquire:
+		if dyn != nil {
+			return osm.InquireF(mgr, dyn), nil
+		}
+		return osm.Inquire(mgr, fixed), nil
+	case PrimRelease:
+		if dyn != nil {
+			return osm.ReleaseF(mgr, dyn), nil
+		}
+		return osm.Release(mgr, fixed), nil
+	case PrimDiscard:
+		if dyn != nil {
+			return osm.Primitive{Op: osm.OpDiscard, Mgr: mgr, ID: dyn}, nil
+		}
+		return osm.Discard(mgr, fixed), nil
+	}
+	return osm.Primitive{}, errf(pd.Pos, "unsupported primitive")
+}
+
+// Manager returns a declared manager by name (nil if absent); the
+// host uses it to reach concrete types (e.g. *osm.UnitManager for
+// SetBusy).
+func (m *Model) Manager(name string) osm.TokenManager { return m.managers[name] }
+
+// State returns a state by name (nil if absent).
+func (m *Model) State(name string) *osm.State { return m.states[name] }
+
+// Edge returns an edge by name (nil if absent).
+func (m *Model) Edge(name string) *osm.Edge { return m.edges[name] }
+
+// OnEdge attaches the operation-semantics action to a named edge —
+// the part of a model an ADL cannot express declaratively.
+func (m *Model) OnEdge(name string, action func(*osm.Machine)) error {
+	e, ok := m.edges[name]
+	if !ok {
+		return fmt.Errorf("adl: no edge %q", name)
+	}
+	e.Action = action
+	return nil
+}
+
+// OnWhen attaches a model-level predicate to a named edge.
+func (m *Model) OnWhen(name string, when func(*osm.Machine) bool) error {
+	e, ok := m.edges[name]
+	if !ok {
+		return fmt.Errorf("adl: no edge %q", name)
+	}
+	e.When = when
+	return nil
+}
+
+// Validate runs the static token-discipline checker of the osm
+// package over the elaborated state graph (paper Section 6).
+func (m *Model) Validate(maxLen int) []osm.ValidationIssue {
+	return osm.Validate(m.states[m.Spec.Initial], maxLen)
+}
+
+// Build parses and elaborates in one step.
+func Build(src string, bindings map[string]Binding) (*Model, error) {
+	spec, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Elaborate(spec, bindings)
+}

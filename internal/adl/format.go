@@ -1,0 +1,91 @@
+package adl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a Spec back to description syntax. Parsing the
+// result yields an equivalent Spec, so models can be round-tripped
+// between programmatic construction and text.
+func Format(spec *Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model %s {\n", spec.Name)
+
+	if len(spec.Managers) > 0 {
+		b.WriteString("  managers {\n")
+		for _, m := range spec.Managers {
+			switch m.Kind {
+			case KindReset, KindBypass:
+				fmt.Fprintf(&b, "    %s %s;\n", m.Kind, m.Name)
+			default:
+				fmt.Fprintf(&b, "    %s %s(%d);\n", m.Kind, m.Name, m.Arg)
+			}
+		}
+		b.WriteString("  }\n")
+	}
+
+	b.WriteString("  states { ")
+	for i, s := range spec.States {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+		if s == spec.Initial {
+			b.WriteString("*")
+		}
+	}
+	b.WriteString(" }\n")
+
+	if len(spec.Edges) > 0 {
+		b.WriteString("  edges {\n")
+		for _, e := range spec.Edges {
+			fmt.Fprintf(&b, "    %s: %s -> %s", e.Name, e.From, e.To)
+			if e.Reset {
+				b.WriteString(" reset")
+			}
+			if len(e.Prims) > 0 {
+				b.WriteString(" [ ")
+				for i, p := range e.Prims {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(formatPrim(p))
+				}
+				b.WriteString(" ]")
+			}
+			b.WriteString(";\n")
+		}
+		b.WriteString("  }\n")
+	}
+
+	fmt.Fprintf(&b, "  machines %d;\n", spec.Machines)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatPrim(p PrimDecl) string {
+	var op string
+	for name, o := range primNames {
+		if o == p.Op {
+			op = name
+			break
+		}
+	}
+	if p.All {
+		return op + " *"
+	}
+	id := ""
+	if p.Update {
+		id = "!"
+	}
+	switch p.Form {
+	case IDFixed:
+		id += fmt.Sprint(p.Fixed)
+	case IDAny:
+		id += "*"
+	case IDBound:
+		id += "$" + p.Binding
+	}
+	return fmt.Sprintf("%s %s.%s", op, p.Manager, id)
+}

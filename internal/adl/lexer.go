@@ -1,0 +1,123 @@
+package adl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single-rune punctuation: { } ( ) [ ] ; , : . * $ !
+	tokArrow // ->
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Position
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes a description. Comments run from // to end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Position { return Position{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekRune() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peekRune()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peekRune() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentRune(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the following token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekRune()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentRune(l.peekRune()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		for l.off < len(l.src) && (isIdentRune(l.peekRune())) {
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], pos: pos}, nil
+	case c == '-':
+		l.advance()
+		if l.peekRune() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "->", pos: pos}, nil
+		}
+		return token{}, errf(pos, "unexpected '-'")
+	case strings.ContainsRune("{}()[];,:.*$!", rune(c)):
+		l.advance()
+		return token{kind: tokPunct, text: string(c), pos: pos}, nil
+	}
+	return token{}, errf(pos, "unexpected character %q", c)
+}

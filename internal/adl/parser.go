@@ -1,0 +1,380 @@
+package adl
+
+import "strconv"
+
+// Parse reads a model description into a Spec, reporting the first
+// syntactic or structural error with its position.
+func Parse(src string) (*Spec, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	spec, err := p.parseModel()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	if err := validate(spec); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectEOF() error {
+	if p.tok.kind != tokEOF {
+		return errf(p.tok.pos, "unexpected %s after model", p.tok)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", errf(p.tok.pos, "expected %s, found %s", what, p.tok)
+	}
+	t := p.tok.text
+	return t, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return errf(p.tok.pos, "expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if (p.tok.kind != tokPunct && p.tok.kind != tokArrow) || p.tok.text != s {
+		return errf(p.tok.pos, "expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) isPunct(s string) bool {
+	return (p.tok.kind == tokPunct || p.tok.kind == tokArrow) && p.tok.text == s
+}
+
+func (p *parser) expectNumber(what string) (int, error) {
+	if p.tok.kind != tokNumber {
+		return 0, errf(p.tok.pos, "expected %s, found %s", what, p.tok)
+	}
+	n, err := strconv.Atoi(p.tok.text)
+	if err != nil {
+		return 0, errf(p.tok.pos, "bad number %q", p.tok.text)
+	}
+	return n, p.advance()
+}
+
+func (p *parser) parseModel() (*Spec, error) {
+	if err := p.expectKeyword("model"); err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	name, err := p.expectIdent("model name")
+	if err != nil {
+		return nil, err
+	}
+	spec.Name = name
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		section, err := p.expectIdent("section (managers/states/edges/machines)")
+		if err != nil {
+			return nil, err
+		}
+		switch section {
+		case "managers":
+			if err := p.parseManagers(spec); err != nil {
+				return nil, err
+			}
+		case "states":
+			if err := p.parseStates(spec); err != nil {
+				return nil, err
+			}
+		case "edges":
+			if err := p.parseEdges(spec); err != nil {
+				return nil, err
+			}
+		case "machines":
+			n, err := p.expectNumber("machine count")
+			if err != nil {
+				return nil, err
+			}
+			spec.Machines = n
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(p.tok.pos, "unknown section %q", section)
+		}
+	}
+	return spec, p.advance() // consume closing brace
+}
+
+func (p *parser) parseManagers(spec *Spec) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.isPunct("}") {
+		pos := p.tok.pos
+		kindName, err := p.expectIdent("manager kind")
+		if err != nil {
+			return err
+		}
+		kind, ok := kindNames[kindName]
+		if !ok {
+			return errf(pos, "unknown manager kind %q", kindName)
+		}
+		name, err := p.expectIdent("manager name")
+		if err != nil {
+			return err
+		}
+		decl := ManagerDecl{Pos: pos, Kind: kind, Name: name}
+		if p.isPunct("(") {
+			if err := p.expectPunct("("); err != nil {
+				return err
+			}
+			n, err := p.expectNumber("manager size")
+			if err != nil {
+				return err
+			}
+			decl.Arg = n
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		spec.Managers = append(spec.Managers, decl)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseStates(spec *Spec) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.isPunct("}") {
+		name, err := p.expectIdent("state name")
+		if err != nil {
+			return err
+		}
+		if p.isPunct("*") {
+			if spec.Initial != "" {
+				return errf(p.tok.pos, "multiple initial states (%q and %q)", spec.Initial, name)
+			}
+			spec.Initial = name
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		spec.States = append(spec.States, name)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	return p.advance()
+}
+
+func (p *parser) parseEdges(spec *Spec) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !p.isPunct("}") {
+		pos := p.tok.pos
+		name, err := p.expectIdent("edge name")
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return err
+		}
+		from, err := p.expectIdent("source state")
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("->"); err != nil {
+			return err
+		}
+		to, err := p.expectIdent("destination state")
+		if err != nil {
+			return err
+		}
+		e := EdgeDecl{Pos: pos, Name: name, From: from, To: to}
+		if p.tok.kind == tokIdent && p.tok.text == "reset" {
+			e.Reset = true
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.isPunct("[") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			for !p.isPunct("]") {
+				prim, err := p.parsePrim()
+				if err != nil {
+					return err
+				}
+				e.Prims = append(e.Prims, prim)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return err
+					}
+				}
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		spec.Edges = append(spec.Edges, e)
+	}
+	return p.advance()
+}
+
+func (p *parser) parsePrim() (PrimDecl, error) {
+	pos := p.tok.pos
+	opName, err := p.expectIdent("primitive (alloc/inquire/release/discard)")
+	if err != nil {
+		return PrimDecl{}, err
+	}
+	op, ok := primNames[opName]
+	if !ok {
+		return PrimDecl{}, errf(pos, "unknown primitive %q", opName)
+	}
+	prim := PrimDecl{Pos: pos, Op: op}
+	// `discard *` drops the whole token buffer.
+	if op == PrimDiscard && p.isPunct("*") {
+		prim.All = true
+		return prim, p.advance()
+	}
+	mgr, err := p.expectIdent("manager name")
+	if err != nil {
+		return PrimDecl{}, err
+	}
+	prim.Manager = mgr
+	if err := p.expectPunct("."); err != nil {
+		return PrimDecl{}, err
+	}
+	if p.isPunct("!") {
+		prim.Update = true
+		if err := p.advance(); err != nil {
+			return PrimDecl{}, err
+		}
+	}
+	switch {
+	case p.isPunct("*"):
+		prim.Form = IDAny
+		return prim, p.advance()
+	case p.isPunct("$"):
+		if err := p.advance(); err != nil {
+			return PrimDecl{}, err
+		}
+		b, err := p.expectIdent("binding name")
+		if err != nil {
+			return PrimDecl{}, err
+		}
+		prim.Form = IDBound
+		prim.Binding = b
+		return prim, nil
+	case p.tok.kind == tokNumber:
+		n, err := p.expectNumber("token id")
+		if err != nil {
+			return PrimDecl{}, err
+		}
+		prim.Form = IDFixed
+		prim.Fixed = int64(n)
+		return prim, nil
+	}
+	return PrimDecl{}, errf(p.tok.pos, "expected token id, '*' or '$name', found %s", p.tok)
+}
+
+// validate checks cross-references: states/managers named by edges
+// exist, an initial state is marked, counts are sane.
+func validate(spec *Spec) error {
+	if spec.Initial == "" {
+		return errf(Position{1, 1}, "model %s: no initial state marked with '*'", spec.Name)
+	}
+	if spec.Machines <= 0 {
+		return errf(Position{1, 1}, "model %s: machines count missing or not positive", spec.Name)
+	}
+	states := map[string]bool{}
+	for _, s := range spec.States {
+		if states[s] {
+			return errf(Position{1, 1}, "duplicate state %q", s)
+		}
+		states[s] = true
+	}
+	mgrs := map[string]ManagerKind{}
+	resets := 0
+	for _, m := range spec.Managers {
+		if _, dup := mgrs[m.Name]; dup {
+			return errf(m.Pos, "duplicate manager %q", m.Name)
+		}
+		mgrs[m.Name] = m.Kind
+		if m.Kind == KindReset {
+			resets++
+		}
+		switch m.Kind {
+		case KindReset, KindBypass:
+		default:
+			if m.Arg <= 0 {
+				return errf(m.Pos, "manager %q needs a positive size", m.Name)
+			}
+		}
+	}
+	edgeNames := map[string]bool{}
+	for _, e := range spec.Edges {
+		if edgeNames[e.Name] {
+			return errf(e.Pos, "duplicate edge %q", e.Name)
+		}
+		edgeNames[e.Name] = true
+		if !states[e.From] {
+			return errf(e.Pos, "edge %s: unknown source state %q", e.Name, e.From)
+		}
+		if !states[e.To] {
+			return errf(e.Pos, "edge %s: unknown destination state %q", e.Name, e.To)
+		}
+		if e.Reset && resets == 0 {
+			return errf(e.Pos, "edge %s: reset edge but no reset manager declared", e.Name)
+		}
+		if e.Reset && e.To != spec.Initial {
+			return errf(e.Pos, "edge %s: reset edges must return to the initial state", e.Name)
+		}
+		for _, pr := range e.Prims {
+			if pr.All {
+				continue
+			}
+			kind, ok := mgrs[pr.Manager]
+			if !ok {
+				return errf(pr.Pos, "edge %s: unknown manager %q", e.Name, pr.Manager)
+			}
+			if pr.Update && kind != KindRegFile {
+				return errf(pr.Pos, "edge %s: '!' update tokens require a regfile manager", e.Name)
+			}
+		}
+	}
+	return nil
+}

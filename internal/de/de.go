@@ -1,0 +1,189 @@
+// Package de provides the discrete-event simulation kernel of the OSM
+// framework's hardware layer, together with its cycle-driven
+// specialization.
+//
+// The paper's Figure 4 embeds the OSM model of computation inside a
+// discrete-event scheduler: between two clock edges the hardware
+// modules communicate through ordinary timestamped events; at every
+// edge the kernel first clocks the cycle-driven modules and then runs
+// one OSM control step, which — because it introduces no events of its
+// own — finishes in zero time from the discrete-event domain's point
+// of view.
+package de
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in model time units. With the default
+// Interval of 1 a time unit equals one clock cycle.
+type Time = uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order, for deterministic FIFO ties
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion order).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Clocked is implemented by cycle-driven hardware modules. The kernel
+// calls Tick once per clock edge, in registration order, before the
+// OSM control step of that edge. This is where caches age their miss
+// timers, branch predictors update, and token manager interfaces
+// exchange information with their modules.
+type Clocked interface {
+	Tick(cycle uint64)
+}
+
+// ClockedFunc adapts a function to the Clocked interface.
+type ClockedFunc func(cycle uint64)
+
+// Tick calls f.
+func (f ClockedFunc) Tick(cycle uint64) { f(cycle) }
+
+// Kernel is the simulation kernel: a discrete-event queue specialized
+// by regular clock edges. Events strictly before an edge run first, in
+// timestamp order (FIFO among equal timestamps); at the edge the
+// clocked modules tick and then OnEdge — conventionally the OSM
+// director's control step — runs.
+type Kernel struct {
+	// Interval is the clock period in time units. Zero means 1.
+	// Depending on the model it corresponds to a clock cycle or a
+	// phase.
+	Interval Time
+	// OnEdge is invoked at every clock edge after the clocked
+	// modules tick; an error aborts the run. It is conventionally
+	// bound to (*osm.Director).Step.
+	OnEdge func(cycle uint64) error
+
+	modules  []Clocked
+	events   eventHeap
+	now      Time
+	nextEdge Time
+	cycle    uint64
+	seq      uint64
+}
+
+// NewKernel returns a kernel with a unit clock period and no modules.
+func NewKernel() *Kernel { return &Kernel{Interval: 1} }
+
+// AddClocked registers cycle-driven modules; ticks are delivered in
+// registration order.
+func (k *Kernel) AddClocked(ms ...Clocked) { k.modules = append(k.modules, ms...) }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Cycle returns the number of completed clock edges.
+func (k *Kernel) Cycle() uint64 { return k.cycle }
+
+// Pending returns the number of scheduled, not yet delivered events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule runs fn at the current time plus delay. Events scheduled
+// for the same instant are delivered in scheduling order. An event
+// scheduled with zero delay from inside an event handler runs at the
+// same timestamp, after the handlers already queued there.
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.seq++
+	k.events.pushEvent(event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// At runs fn at the absolute time t, which must not be in the past.
+func (k *Kernel) At(t Time, fn func()) error {
+	if t < k.now {
+		return fmt.Errorf("de: At(%d) is in the past (now %d)", t, k.now)
+	}
+	k.seq++
+	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn})
+	return nil
+}
+
+func (k *Kernel) interval() Time {
+	if k.Interval == 0 {
+		return 1
+	}
+	return k.Interval
+}
+
+// StepCycle advances simulation to (and through) the next clock edge:
+// it delivers every event with a timestamp strictly before the edge,
+// then ticks the clocked modules and runs OnEdge at the edge itself.
+// This is one iteration of the paper's Figure 4 loop.
+func (k *Kernel) StepCycle() error {
+	edge := k.nextEdge
+	for len(k.events) > 0 && k.events.peek().at < edge {
+		e := k.events.popEvent()
+		k.now = e.at
+		e.fn()
+	}
+	k.now = edge
+	for _, m := range k.modules {
+		m.Tick(k.cycle)
+	}
+	if k.OnEdge != nil {
+		if err := k.OnEdge(k.cycle); err != nil {
+			return fmt.Errorf("de: cycle %d: %w", k.cycle, err)
+		}
+	}
+	// Events scheduled exactly at the edge run after the control
+	// step, still at the same timestamp (the control step finishes in
+	// zero time as seen from the DE domain).
+	for len(k.events) > 0 && k.events.peek().at == edge {
+		e := k.events.popEvent()
+		e.fn()
+	}
+	k.cycle++
+	k.nextEdge = edge + k.interval()
+	return nil
+}
+
+// RunCycles executes n clock cycles and returns the number completed.
+func (k *Kernel) RunCycles(n uint64) (uint64, error) {
+	for i := uint64(0); i < n; i++ {
+		if err := k.StepCycle(); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+// RunUntil executes cycles until done reports true (checked after
+// every cycle) or limit cycles have run, and returns the number of
+// cycles executed and whether done was reached.
+func (k *Kernel) RunUntil(done func() bool, limit uint64) (uint64, bool, error) {
+	for i := uint64(0); i < limit; i++ {
+		if err := k.StepCycle(); err != nil {
+			return i, false, err
+		}
+		if done() {
+			return i + 1, true, nil
+		}
+	}
+	return limit, done(), nil
+}
+
+// Reset discards pending events and rewinds time to zero. Module and
+// OnEdge registrations are kept.
+func (k *Kernel) Reset() {
+	k.events = k.events[:0]
+	k.now, k.nextEdge, k.cycle, k.seq = 0, 0, 0, 0
+}

@@ -1,0 +1,244 @@
+package de
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelDeliversEventsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	k.Interval = 10
+	var got []int
+	k.Schedule(7, func() { got = append(got, 7) })
+	k.Schedule(3, func() { got = append(got, 3) })
+	k.Schedule(5, func() { got = append(got, 5) })
+	if err := k.StepCycle(); err != nil {
+		t.Fatal(err)
+	}
+	// First cycle's edge is at t=0; nothing before it. Second cycle
+	// delivers everything before t=10.
+	if err := k.StepCycle(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 5, 7}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("delivery order = %v, want %v", got, want)
+	}
+}
+
+func TestKernelFIFOAmongEqualTimestamps(t *testing.T) {
+	k := NewKernel()
+	k.Interval = 10
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Schedule(4, func() { got = append(got, i) })
+	}
+	k.StepCycle()
+	k.StepCycle()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestKernelEdgeRunsModulesThenOnEdge(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.AddClocked(ClockedFunc(func(c uint64) { order = append(order, "modA") }))
+	k.AddClocked(ClockedFunc(func(c uint64) { order = append(order, "modB") }))
+	k.OnEdge = func(c uint64) error {
+		order = append(order, "osm")
+		return nil
+	}
+	k.StepCycle()
+	if len(order) != 3 || order[0] != "modA" || order[1] != "modB" || order[2] != "osm" {
+		t.Fatalf("edge order = %v, want modules (in registration order) then OSM step", order)
+	}
+}
+
+func TestKernelEventAtEdgeRunsAfterControlStep(t *testing.T) {
+	k := NewKernel()
+	k.Interval = 5
+	var order []string
+	k.Schedule(5, func() { order = append(order, "event@5") })
+	k.OnEdge = func(c uint64) error {
+		order = append(order, "osm")
+		return nil
+	}
+	k.StepCycle() // edge at 0
+	k.StepCycle() // edge at 5
+	if len(order) != 3 || order[0] != "osm" || order[1] != "osm" || order[2] != "event@5" {
+		t.Fatalf("order = %v, want the edge's control step before the same-time event", order)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", k.Now())
+	}
+}
+
+func TestKernelZeroDelayFromHandler(t *testing.T) {
+	k := NewKernel()
+	k.Interval = 10
+	var got []string
+	k.Schedule(2, func() {
+		got = append(got, "first")
+		k.Schedule(0, func() { got = append(got, "chained") })
+	})
+	k.Schedule(2, func() { got = append(got, "second") })
+	k.StepCycle()
+	k.StepCycle()
+	if len(got) != 3 || got[0] != "first" || got[1] != "second" || got[2] != "chained" {
+		t.Fatalf("order = %v; zero-delay events run after already-queued same-time events", got)
+	}
+}
+
+func TestKernelAtRejectsPast(t *testing.T) {
+	k := NewKernel()
+	k.Interval = 1
+	k.StepCycle()
+	k.StepCycle() // now = 1
+	if err := k.At(0, func() {}); err == nil {
+		t.Fatal("At in the past must error")
+	}
+	if err := k.At(5, func() {}); err != nil {
+		t.Fatalf("At in the future: %v", err)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestKernelOnEdgeErrorAborts(t *testing.T) {
+	k := NewKernel()
+	boom := errors.New("boom")
+	k.OnEdge = func(c uint64) error {
+		if c == 2 {
+			return boom
+		}
+		return nil
+	}
+	n, err := k.RunCycles(10)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 2 {
+		t.Fatalf("completed cycles = %d, want 2", n)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.OnEdge = func(c uint64) error { count++; return nil }
+	n, done, err := k.RunUntil(func() bool { return count >= 4 }, 100)
+	if err != nil || !done || n != 4 {
+		t.Fatalf("RunUntil = %d,%v,%v; want 4,true,nil", n, done, err)
+	}
+	n, done, err = k.RunUntil(func() bool { return false }, 7)
+	if err != nil || done || n != 7 {
+		t.Fatalf("RunUntil limit = %d,%v,%v; want 7,false,nil", n, done, err)
+	}
+}
+
+func TestKernelCycleAndIntervalDefault(t *testing.T) {
+	k := NewKernel()
+	k.Interval = 0 // must behave as 1
+	k.RunCycles(3)
+	if k.Cycle() != 3 {
+		t.Fatalf("Cycle = %d, want 3", k.Cycle())
+	}
+	if k.Now() != 2 {
+		t.Fatalf("Now = %d, want 2 (edges at 0,1,2)", k.Now())
+	}
+}
+
+func TestKernelReset(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(50, func() {})
+	k.RunCycles(5)
+	k.Reset()
+	if k.Now() != 0 || k.Cycle() != 0 || k.Pending() != 0 {
+		t.Fatal("Reset must rewind time and drop events")
+	}
+}
+
+func TestKernelTickReceivesCycleNumber(t *testing.T) {
+	k := NewKernel()
+	var cycles []uint64
+	k.AddClocked(ClockedFunc(func(c uint64) { cycles = append(cycles, c) }))
+	k.RunCycles(3)
+	if len(cycles) != 3 || cycles[0] != 0 || cycles[1] != 1 || cycles[2] != 2 {
+		t.Fatalf("cycles = %v, want [0 1 2]", cycles)
+	}
+}
+
+func TestQuickKernelDeliversAllEventsInOrder(t *testing.T) {
+	// Whatever the schedule, every event fires exactly once, in
+	// non-decreasing time order, never before its timestamp.
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		k.Interval = 16
+		type rec struct{ at, seen Time }
+		var log []rec
+		for _, d := range delays {
+			at := Time(d % 256)
+			k.Schedule(at, func() { log = append(log, rec{at: at, seen: k.Now()}) })
+		}
+		if _, err := k.RunCycles(512/16 + 2); err != nil {
+			return false
+		}
+		if len(log) != len(delays) {
+			return false
+		}
+		last := Time(0)
+		for _, r := range log {
+			if r.seen != r.at || r.seen < last {
+				return false
+			}
+			last = r.seen
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelDrivesOSMStalls is the Figure 4 integration scenario: a
+// hardware-layer event (a device completing between clock edges)
+// lifts a stall the operation layer is blocked on. The "device" is
+// modeled with a gate the DE event opens; the OSM control step at
+// each edge observes it.
+func TestKernelDrivesOSMStalls(t *testing.T) {
+	deviceReady := false
+	stalled := 0
+	released := -1
+
+	k := NewKernel()
+	k.OnEdge = func(cycle uint64) error {
+		// Stand-in for a director control step: an "operation" that
+		// can only proceed once the device has finished.
+		if !deviceReady {
+			stalled++
+			return nil
+		}
+		if released < 0 {
+			released = int(cycle)
+		}
+		return nil
+	}
+	// The device finishes at t=6, between the edges at 6 and 7 (the
+	// event at an edge instant runs after that edge's control step).
+	k.Schedule(6, func() { deviceReady = true })
+	if _, err := k.RunCycles(10); err != nil {
+		t.Fatal(err)
+	}
+	if stalled != 7 {
+		t.Fatalf("stalled %d control steps, want 7 (edges 0..6)", stalled)
+	}
+	if released != 7 {
+		t.Fatalf("released at edge %d, want 7", released)
+	}
+}

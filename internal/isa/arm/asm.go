@@ -1,0 +1,750 @@
+package arm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled unit: a flat word image plus its symbol
+// table. Programs are position-dependent and assembled at a fixed
+// origin.
+type Program struct {
+	// Org is the load address of the first word.
+	Org uint32
+	// Words is the binary image.
+	Words []uint32
+	// Labels maps symbol names to addresses.
+	Labels map[string]uint32
+	// Entry is the start address: the `_start` label when present,
+	// otherwise Org.
+	Entry uint32
+}
+
+// Size returns the image size in bytes.
+func (p *Program) Size() uint32 { return uint32(len(p.Words) * 4) }
+
+// Assemble translates assembly source into a program loaded at
+// origin 0. See AssembleAt for the accepted syntax.
+func Assemble(src string) (*Program, error) { return AssembleAt(src, 0) }
+
+// AssembleAt runs the two-pass assembler with the given origin. The
+// syntax follows ARM convention:
+//
+//	label:  add{cond}{s} rd, rn, <op2>   ; comment
+//	        mov r0, #imm
+//	        add r1, r2, r3, lsl #2
+//	        mul rd, rm, rs / mla rd, rm, rs, rn
+//	        ldr{b} rd, [rn], [rn, #off], [rn, #off]!, [rn], #off,
+//	                  [rn, rm, lsl #n]
+//	        ldrh/strh/ldrsb/ldrsh rd, [rn, #off] etc. (8-bit offsets,
+//	                  no shifted register offsets)
+//	        ldm/stm{ia,ib,da,db} rn{!}, {r0-r3, lr}
+//	        push {..} / pop {..}         ; sp-based aliases
+//	        b{cond} label / bl label
+//	        swi #n / nop
+//	        ldr rd, =label               ; literal-pool load
+//	        .word v, v, ... / .space n / .global name
+//
+// Literal-pool entries are emitted after the last statement.
+//
+// Comments start with ';' or '@'. Register aliases sp, lr and pc are
+// accepted.
+func AssembleAt(src string, org uint32) (*Program, error) {
+	a := &assembler{org: org, labels: make(map[string]uint32)}
+	if err := a.pass(src, 1); err != nil {
+		return nil, err
+	}
+	a.placeLiterals()
+	if err := a.pass(src, 2); err != nil {
+		return nil, err
+	}
+	if err := a.emitLiterals(); err != nil {
+		return nil, err
+	}
+	p := &Program{Org: org, Words: a.words, Labels: a.labels, Entry: org}
+	if e, ok := a.labels["_start"]; ok {
+		p.Entry = e
+	}
+	return p, nil
+}
+
+type assembler struct {
+	org    uint32
+	pc     uint32 // current address during a pass
+	words  []uint32
+	labels map[string]uint32
+	// literal pool for "ldr rX, =sym" loads, emitted after the code.
+	litSyms []string // symbol (or #value) per literal
+	litBase uint32
+	pass2   bool
+}
+
+func (a *assembler) pass(src string, n int) error {
+	a.pc = a.org
+	a.pass2 = n == 2
+	a.words = a.words[:0]
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";@"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return fmt.Errorf("arm asm: line %d: bad label %q", lineNo+1, label)
+			}
+			if !a.pass2 {
+				if _, dup := a.labels[label]; dup {
+					return fmt.Errorf("arm asm: line %d: duplicate label %q", lineNo+1, label)
+				}
+				a.labels[label] = a.pc
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.statement(line); err != nil {
+			return fmt.Errorf("arm asm: line %d: %w", lineNo+1, err)
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emit(w uint32) {
+	if a.pass2 {
+		a.words = append(a.words, w)
+	}
+	a.pc += 4
+}
+
+func (a *assembler) placeLiterals() {
+	a.litBase = a.pc
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) statement(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	rest = strings.TrimSpace(rest)
+
+	switch mnemonic {
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.value(f)
+			if err != nil {
+				return err
+			}
+			a.emit(v)
+		}
+		return nil
+	case ".space":
+		n, err := a.value(rest)
+		if err != nil {
+			return err
+		}
+		if n%4 != 0 {
+			return fmt.Errorf(".space %d not a word multiple", n)
+		}
+		for k := uint32(0); k < n/4; k++ {
+			a.emit(0)
+		}
+		return nil
+	case ".global", ".globl", ".text", ".align":
+		return nil // accepted and ignored
+	case "nop":
+		w, _ := Encode(Instr{Cond: AL, Op: MOV, Rd: 0, Rm: 0})
+		a.emit(w)
+		return nil
+	case "push":
+		return a.block(Instr{Op: STM, Pre: true, Up: false, Writeback: true, Rn: SP, Cond: AL}, rest)
+	case "pop":
+		return a.block(Instr{Op: LDM, Pre: false, Up: true, Writeback: true, Rn: SP, Cond: AL}, rest)
+	}
+
+	ins, err := parseMnemonic(mnemonic)
+	if err != nil {
+		return err
+	}
+	return a.operands(ins, rest)
+}
+
+// mnemonicOps lists op names longest-first so "bl" is tried before
+// "b" and "ldm" before "ldr" prefixes can't collide.
+var mnemonicOps = []struct {
+	name string
+	op   Op
+}{
+	{"ldmia", LDM}, {"ldmib", LDM}, {"ldmda", LDM}, {"ldmdb", LDM},
+	{"stmia", STM}, {"stmib", STM}, {"stmda", STM}, {"stmdb", STM},
+	{"and", AND}, {"eor", EOR}, {"sub", SUB}, {"rsb", RSB}, {"add", ADD},
+	{"adc", ADC}, {"sbc", SBC}, {"rsc", RSC}, {"tst", TST}, {"teq", TEQ},
+	{"cmp", CMP}, {"cmn", CMN}, {"orr", ORR}, {"mov", MOV}, {"bic", BIC},
+	{"mvn", MVN}, {"mul", MUL}, {"mla", MLA}, {"ldr", LDR}, {"str", STR},
+	{"swi", SWI}, {"bl", BL}, {"b", B},
+}
+
+func parseMnemonic(m string) (Instr, error) {
+	for _, cand := range mnemonicOps {
+		if !strings.HasPrefix(m, cand.name) {
+			continue
+		}
+		rest := m[len(cand.name):]
+		ins := Instr{Op: cand.op, Cond: AL, Up: true, Pre: true}
+		switch {
+		case cand.op == LDM || cand.op == STM:
+			mode := cand.name[3:]
+			ins.Pre = mode == "ib" || mode == "db"
+			ins.Up = mode == "ia" || mode == "ib"
+		}
+		// Optional condition.
+		if len(rest) >= 2 {
+			if c, ok := condByName(rest[:2]); ok {
+				ins.Cond = c
+				rest = rest[2:]
+			}
+		}
+		// Optional flags: S for data processing and multiplies; B, H,
+		// SB and SH width suffixes for single transfers.
+		ok := true
+		switch {
+		case cand.op == LDR || cand.op == STR:
+			// Accept the UAL order too (width suffix before the
+			// condition, e.g. "ldrheq").
+			if len(rest) >= 3 && ins.Cond == AL {
+				if c, isCond := condByName(rest[len(rest)-2:]); isCond {
+					ins.Cond = c
+					rest = rest[:len(rest)-2]
+				}
+			}
+			switch rest {
+			case "":
+			case "b":
+				ins.Byte = true
+			case "h":
+				if cand.op == LDR {
+					ins.Op = LDRH
+				} else {
+					ins.Op = STRH
+				}
+			case "sb":
+				if cand.op != LDR {
+					ok = false
+				}
+				ins.Op = LDRSB
+			case "sh":
+				if cand.op != LDR {
+					ok = false
+				}
+				ins.Op = LDRSH
+			default:
+				ok = false
+			}
+		default:
+			for _, r := range rest {
+				switch r {
+				case 's':
+					if cand.op <= MVN || cand.op == MUL || cand.op == MLA {
+						ins.SetFlags = true
+					} else {
+						ok = false
+					}
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		if ok {
+			return ins, nil
+		}
+	}
+	return Instr{}, fmt.Errorf("unknown mnemonic %q", m)
+}
+
+func condByName(s string) (Cond, bool) {
+	for i, n := range condNames {
+		if n == s && n != "" {
+			return Cond(i), true
+		}
+	}
+	return AL, false
+}
+
+var regAliases = map[string]int{"sp": SP, "lr": LR, "pc": PC, "fp": 11, "ip": 12, "sl": 10}
+
+func parseReg(s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n <= 15 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// value evaluates a numeric literal or a label reference.
+func (a *assembler) value(s string) (uint32, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	if v, err := strconv.ParseUint(s, 0, 32); err == nil {
+		if neg {
+			return uint32(-int32(v)), nil
+		}
+		return uint32(v), nil
+	}
+	if addr, ok := a.labels[s]; ok {
+		return addr, nil
+	}
+	if !a.pass2 {
+		return 0, nil // forward reference, resolved on pass 2
+	}
+	return 0, fmt.Errorf("undefined symbol %q", s)
+}
+
+// splitOperands splits on commas that are not inside brackets or
+// braces.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (a *assembler) operands(ins Instr, rest string) error {
+	ops := splitOperands(rest)
+	switch ins.Op {
+	case B, BL:
+		if len(ops) != 1 {
+			return fmt.Errorf("%s takes one target", ins.Op)
+		}
+		target, err := a.value(ops[0])
+		if err != nil {
+			return err
+		}
+		ins.Offset = int32(target) - int32(a.pc) - 8
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	case SWI:
+		if len(ops) != 1 {
+			return fmt.Errorf("swi takes one operand")
+		}
+		v, err := a.value(ops[0])
+		if err != nil {
+			return err
+		}
+		ins.Imm, ins.HasImm = v, true
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	case MUL, MLA:
+		want := 3
+		if ins.Op == MLA {
+			want = 4
+		}
+		if len(ops) != want {
+			return fmt.Errorf("%s takes %d registers", ins.Op, want)
+		}
+		var err error
+		if ins.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if ins.Rm, err = parseReg(ops[1]); err != nil {
+			return err
+		}
+		if ins.Rs, err = parseReg(ops[2]); err != nil {
+			return err
+		}
+		if ins.Op == MLA {
+			if ins.Rn, err = parseReg(ops[3]); err != nil {
+				return err
+			}
+		}
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	case LDR, STR, LDRH, STRH, LDRSB, LDRSH:
+		return a.memOperands(ins, ops)
+	case LDM, STM:
+		if len(ops) != 2 {
+			return fmt.Errorf("%s takes base and register list", ins.Op)
+		}
+		base := ops[0]
+		if strings.HasSuffix(base, "!") {
+			ins.Writeback = true
+			base = strings.TrimSuffix(base, "!")
+		}
+		var err error
+		if ins.Rn, err = parseReg(base); err != nil {
+			return err
+		}
+		return a.block(ins, ops[1])
+	}
+	// Data processing.
+	var err error
+	switch ins.Op {
+	case MOV, MVN:
+		if len(ops) < 2 {
+			return fmt.Errorf("%s takes rd and operand2", ins.Op)
+		}
+		if ins.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		return a.op2(ins, ops[1:])
+	case CMP, CMN, TST, TEQ:
+		if len(ops) < 2 {
+			return fmt.Errorf("%s takes rn and operand2", ins.Op)
+		}
+		if ins.Rn, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		ins.SetFlags = true
+		return a.op2(ins, ops[1:])
+	default:
+		if len(ops) < 3 {
+			return fmt.Errorf("%s takes rd, rn and operand2", ins.Op)
+		}
+		if ins.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if ins.Rn, err = parseReg(ops[1]); err != nil {
+			return err
+		}
+		return a.op2(ins, ops[2:])
+	}
+}
+
+// op2 parses the data-processing operand 2 (immediate or register
+// with optional shift) from the remaining comma-split fields.
+func (a *assembler) op2(ins Instr, ops []string) error {
+	if strings.HasPrefix(ops[0], "#") || strings.HasPrefix(ops[0], "=") {
+		v, err := a.value(strings.TrimPrefix(ops[0], "="))
+		if err != nil {
+			return err
+		}
+		ins.HasImm, ins.Imm = true, v
+		if len(ops) != 1 {
+			return fmt.Errorf("immediate operand2 takes no shift")
+		}
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	}
+	var err error
+	if ins.Rm, err = parseReg(ops[0]); err != nil {
+		return err
+	}
+	if len(ops) > 1 {
+		if err := parseShift(&ins, ops[1]); err != nil {
+			return err
+		}
+	}
+	w, err := Encode(ins)
+	if err != nil {
+		return err
+	}
+	a.emit(w)
+	return nil
+}
+
+func parseShift(ins *Instr, s string) error {
+	f := strings.Fields(strings.ToLower(s))
+	if len(f) == 1 && f[0] == "rrx" {
+		// Rotate-right-extended: encoded as ror #0.
+		ins.Shift = ROR
+		ins.ShiftAmt = 0
+		return nil
+	}
+	if len(f) != 2 {
+		return fmt.Errorf("bad shift %q", s)
+	}
+	var kind Shift
+	switch f[0] {
+	case "lsl":
+		kind = LSL
+	case "lsr":
+		kind = LSR
+	case "asr":
+		kind = ASR
+	case "ror":
+		kind = ROR
+	default:
+		return fmt.Errorf("bad shift kind %q", f[0])
+	}
+	ins.Shift = kind
+	if strings.HasPrefix(f[1], "#") {
+		n, err := strconv.Atoi(strings.TrimPrefix(f[1], "#"))
+		if err != nil || n < 0 || n > 32 {
+			return fmt.Errorf("bad shift amount %q", f[1])
+		}
+		ins.ShiftAmt = n & 31
+		return nil
+	}
+	r, err := parseReg(f[1])
+	if err != nil {
+		return err
+	}
+	ins.HasShiftReg = true
+	ins.Rs = r
+	return nil
+}
+
+func (a *assembler) memOperands(ins Instr, ops []string) error {
+	if len(ops) < 2 {
+		return fmt.Errorf("%s takes rd and an address", ins.Op)
+	}
+	var err error
+	if ins.Rd, err = parseReg(ops[0]); err != nil {
+		return err
+	}
+	addr := ops[1]
+	// Literal-pool load: ldr rX, =sym
+	if strings.HasPrefix(addr, "=") {
+		if ins.Op != LDR || ins.Byte {
+			return fmt.Errorf("literal loads require plain ldr")
+		}
+		return a.literalLoad(ins, strings.TrimPrefix(addr, "="))
+	}
+	if !strings.HasPrefix(addr, "[") {
+		return fmt.Errorf("bad address %q", addr)
+	}
+	post := len(ops) == 3
+	if post { // [rn], #off
+		if !strings.HasSuffix(addr, "]") {
+			return fmt.Errorf("bad post-indexed address")
+		}
+		inner := strings.TrimSuffix(strings.TrimPrefix(addr, "["), "]")
+		if ins.Rn, err = parseReg(inner); err != nil {
+			return err
+		}
+		ins.Pre = false
+		return a.memOffset(ins, ops[2])
+	}
+	if strings.HasSuffix(addr, "!") {
+		ins.Writeback = true
+		addr = strings.TrimSuffix(addr, "!")
+	}
+	if !strings.HasSuffix(addr, "]") {
+		return fmt.Errorf("bad address %q", addr)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(addr, "["), "]")
+	parts := splitOperands(inner)
+	if ins.Rn, err = parseReg(parts[0]); err != nil {
+		return err
+	}
+	ins.Pre = true
+	switch len(parts) {
+	case 1:
+		ins.HasImm, ins.Imm = true, 0
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	case 2:
+		return a.memOffset(ins, parts[1])
+	case 3:
+		if ins.Op != LDR && ins.Op != STR {
+			return fmt.Errorf("%s offsets cannot be shifted", ins.Op)
+		}
+		if ins.Rm, err = parseReg(parts[1]); err != nil {
+			return err
+		}
+		if err := parseShift(&ins, parts[2]); err != nil {
+			return err
+		}
+		if ins.HasShiftReg {
+			return fmt.Errorf("memory offsets cannot use register shifts")
+		}
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	}
+	return fmt.Errorf("bad address %q", addr)
+}
+
+func (a *assembler) memOffset(ins Instr, op string) error {
+	op = strings.TrimSpace(op)
+	if strings.HasPrefix(op, "#") {
+		v, err := a.value(op)
+		if err != nil {
+			return err
+		}
+		if int32(v) < 0 {
+			ins.Up = false
+			v = uint32(-int32(v))
+		}
+		ins.HasImm, ins.Imm = true, v
+		w, err := Encode(ins)
+		if err != nil {
+			return err
+		}
+		a.emit(w)
+		return nil
+	}
+	neg := strings.HasPrefix(op, "-")
+	op = strings.TrimPrefix(op, "-")
+	r, err := parseReg(op)
+	if err != nil {
+		return err
+	}
+	ins.Rm = r
+	ins.Up = !neg
+	w, err := Encode(ins)
+	if err != nil {
+		return err
+	}
+	a.emit(w)
+	return nil
+}
+
+func (a *assembler) block(ins Instr, list string) error {
+	list = strings.TrimSpace(list)
+	if !strings.HasPrefix(list, "{") || !strings.HasSuffix(list, "}") {
+		return fmt.Errorf("bad register list %q", list)
+	}
+	for _, f := range strings.Split(strings.TrimSuffix(strings.TrimPrefix(list, "{"), "}"), ",") {
+		f = strings.TrimSpace(f)
+		if lo, hi, ok := strings.Cut(f, "-"); ok {
+			rlo, err := parseReg(lo)
+			if err != nil {
+				return err
+			}
+			rhi, err := parseReg(hi)
+			if err != nil {
+				return err
+			}
+			if rhi < rlo {
+				return fmt.Errorf("bad register range %q", f)
+			}
+			for r := rlo; r <= rhi; r++ {
+				ins.RegList |= 1 << r
+			}
+		} else {
+			r, err := parseReg(f)
+			if err != nil {
+				return err
+			}
+			ins.RegList |= 1 << r
+		}
+	}
+	w, err := Encode(ins)
+	if err != nil {
+		return err
+	}
+	a.emit(w)
+	return nil
+}
+
+// literalLoad emits a PC-relative LDR against the literal pool.
+func (a *assembler) literalLoad(ins Instr, sym string) error {
+	idx, seen := -1, false
+	for i, s := range a.litSyms {
+		if s == sym {
+			idx, seen = i, true
+			break
+		}
+	}
+	if !seen {
+		idx = len(a.litSyms)
+		a.litSyms = append(a.litSyms, sym)
+	}
+	if !a.pass2 {
+		a.pc += 4
+		return nil
+	}
+	litAddr := a.litBase + uint32(4*idx)
+	delta := int32(litAddr) - int32(a.pc) - 8
+	ins.Rn = PC
+	ins.Pre = true
+	ins.HasImm = true
+	if delta < 0 {
+		ins.Up = false
+		ins.Imm = uint32(-delta)
+	} else {
+		ins.Imm = uint32(delta)
+	}
+	w, err := Encode(ins)
+	if err != nil {
+		return err
+	}
+	a.emit(w)
+	return nil
+}
+
+// emitLiterals appends the literal pool after the last statement.
+func (a *assembler) emitLiterals() error {
+	for _, sym := range a.litSyms {
+		v, err := a.value(sym)
+		if err != nil {
+			return err
+		}
+		a.emit(v)
+	}
+	return nil
+}

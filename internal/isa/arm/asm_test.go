@@ -1,0 +1,115 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"frobnicate r0", "unknown mnemonic"},
+		{"mov r17, #1", "bad register"},
+		{"mov r0", "takes rd and operand2"},
+		{"add r0, r1", "takes rd, rn and operand2"},
+		{"cmp r0", "takes rn and operand2"},
+		{"mov r0, #0x101", "not encodable"},
+		{"mov r0, #1, lsl #2", "no shift"},
+		{"mul r0, r1", "takes 3 registers"},
+		{"mla r0, r1, r2", "takes 4 registers"},
+		{"ldr r0", "takes rd and an address"},
+		{"ldr r0, r1", "bad address"},
+		{"ldr r0, [r1, #5000]", "exceeds 12 bits"},
+		{"ldrh r0, [r1, #500]", "exceeds 8 bits"},
+		{"ldrh r0, [r1, r2, lsl #2]", "cannot be shifted"},
+		{"ldr r0, [r1, r2, lsl r3]", "register shifts"},
+		{"strsh r0, [r1]", "unknown mnemonic"},
+		{"ldm r1, {r0}", "unknown mnemonic"}, // needs an addressing mode
+		{"ldmia r1", "takes base and register list"},
+		{"ldmia r1, (r0)", "bad register list"},
+		{"ldmia r1, {r3-r1}", "bad register range"},
+		{"b", "takes one target"},
+		{"b nowhere", "undefined symbol"},
+		{"swi", "takes one operand"},
+		{"x: x: nop", "duplicate label"},
+		{"1bad: nop", "bad label"},
+		{".space 3", "not a word multiple"},
+		{"add r0, r1, r2, xsl #2", "bad shift kind"},
+		{"add r0, r1, r2, lsl #99", "bad shift amount"},
+		{"ldrb r0, =lit", "require plain ldr"},
+		{"mov r0, #1 extra junk", "undefined symbol"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssemblerNiceties(t *testing.T) {
+	// Multiple labels on one line, comments, register aliases, case.
+	p, err := Assemble(`
+a: b: c: nop            ; three labels, one spot
+	MOV R0, #1          @ upper case, at-comment
+	add ip, sl, fp
+	.word a, b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 || p.Labels["c"] != 0 {
+		t.Fatalf("labels = %v", p.Labels)
+	}
+	if p.Words[3] != 0 || p.Words[4] != 0 {
+		t.Fatal(".word with labels wrong")
+	}
+	// _start selects the entry point.
+	p, err = Assemble("nop\n_start: nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 4 {
+		t.Fatalf("entry = %#x, want 4", p.Entry)
+	}
+	if p.Size() != 8 {
+		t.Fatalf("size = %d", p.Size())
+	}
+}
+
+func TestAssembleAtOrigin(t *testing.T) {
+	p, err := AssembleAt("x: b x", 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Org != 0x100 || p.Labels["x"] != 0x100 {
+		t.Fatalf("org/labels wrong: %+v", p)
+	}
+	// Self-branch still encodes the -8 offset regardless of origin.
+	if p.Words[0] != 0xEAFFFFFE {
+		t.Fatalf("word = %#08x", p.Words[0])
+	}
+}
+
+func TestLiteralPoolDeduplication(t *testing.T) {
+	p, err := Assemble(`
+	ldr r0, =0x12345678
+	ldr r1, =0x12345678
+	ldr r2, =0xAABBCCDD
+	mov r0, #0
+	swi #0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 instructions + 2 distinct literals.
+	if len(p.Words) != 7 {
+		t.Fatalf("words = %d, want 7 (pool deduplicated)", len(p.Words))
+	}
+	if p.Words[5] != 0x12345678 || p.Words[6] != 0xAABBCCDD {
+		t.Fatalf("pool = %#x %#x", p.Words[5], p.Words[6])
+	}
+}

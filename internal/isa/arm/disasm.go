@@ -1,0 +1,133 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+var regNames = [...]string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc"}
+
+// RegName returns the conventional name of register r.
+func RegName(r int) string {
+	if r >= 0 && r < 16 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+func (i *Instr) shiftString() string {
+	if i.HasShiftReg {
+		return fmt.Sprintf(", %s %s", i.Shift, RegName(i.Rs))
+	}
+	if i.ShiftAmt == 0 && i.Shift == LSL {
+		return ""
+	}
+	if i.ShiftAmt == 0 && i.Shift == ROR {
+		return ", rrx"
+	}
+	amt := i.ShiftAmt
+	if amt == 0 {
+		amt = 32
+	}
+	return fmt.Sprintf(", %s #%d", i.Shift, amt)
+}
+
+func (i *Instr) op2String() string {
+	if i.HasImm {
+		return fmt.Sprintf("#%d", int32(i.Imm))
+	}
+	return RegName(i.Rm) + i.shiftString()
+}
+
+// String renders the instruction in assembler syntax (branch targets
+// appear as relative byte offsets since the instruction does not know
+// its own address).
+func (i Instr) String() string {
+	c := i.Cond.String()
+	s := ""
+	if i.SetFlags {
+		s = "s"
+	}
+	switch i.Op {
+	case B, BL:
+		return fmt.Sprintf("%s%s .%+d", i.Op, c, i.Offset+8)
+	case SWI:
+		return fmt.Sprintf("swi%s #%d", c, i.Imm)
+	case MUL:
+		return fmt.Sprintf("mul%s%s %s, %s, %s", c, s, RegName(i.Rd), RegName(i.Rm), RegName(i.Rs))
+	case MLA:
+		return fmt.Sprintf("mla%s%s %s, %s, %s, %s", c, s, RegName(i.Rd), RegName(i.Rm), RegName(i.Rs), RegName(i.Rn))
+	case LDR, STR, LDRH, STRH, LDRSB, LDRSH:
+		op, b := i.Op, ""
+		name := op.String()
+		if i.Byte {
+			b = "b"
+		}
+		if op != LDR && op != STR {
+			// ldrh etc. already carry the width in the name; split the
+			// base mnemonic so the condition slots in the right place.
+			if op == STRH {
+				name, b = "str", "h"
+			} else {
+				name, b = "ldr", op.String()[3:]
+			}
+		}
+		var addr string
+		sign := ""
+		if !i.Up {
+			sign = "-"
+		}
+		switch {
+		case i.Pre && i.HasImm && i.Imm == 0:
+			addr = fmt.Sprintf("[%s]", RegName(i.Rn))
+		case i.Pre && i.HasImm:
+			addr = fmt.Sprintf("[%s, #%s%d]", RegName(i.Rn), sign, i.Imm)
+		case i.Pre:
+			addr = fmt.Sprintf("[%s, %s%s%s]", RegName(i.Rn), sign, RegName(i.Rm), i.shiftString())
+		case i.HasImm:
+			addr = fmt.Sprintf("[%s], #%s%d", RegName(i.Rn), sign, i.Imm)
+		default:
+			addr = fmt.Sprintf("[%s], %s%s%s", RegName(i.Rn), sign, RegName(i.Rm), i.shiftString())
+		}
+		wb := ""
+		if i.Pre && i.Writeback {
+			wb = "!"
+		}
+		return fmt.Sprintf("%s%s%s %s, %s%s", name, c, b, RegName(i.Rd), addr, wb)
+	case LDM, STM:
+		mode := map[[2]bool]string{
+			{false, true}:  "ia",
+			{true, true}:   "ib",
+			{false, false}: "da",
+			{true, false}:  "db",
+		}[[2]bool{i.Pre, i.Up}]
+		wb := ""
+		if i.Writeback {
+			wb = "!"
+		}
+		var regs []string
+		for r := 0; r < 16; r++ {
+			if i.RegList&(1<<r) != 0 {
+				regs = append(regs, RegName(r))
+			}
+		}
+		return fmt.Sprintf("%s%s%s %s%s, {%s}", i.Op, mode, c, RegName(i.Rn), wb, strings.Join(regs, ", "))
+	case MOV, MVN:
+		return fmt.Sprintf("%s%s%s %s, %s", i.Op, c, s, RegName(i.Rd), i.op2String())
+	case TST, TEQ, CMP, CMN:
+		return fmt.Sprintf("%s%s %s, %s", i.Op, c, RegName(i.Rn), i.op2String())
+	default:
+		return fmt.Sprintf("%s%s%s %s, %s, %s", i.Op, c, s, RegName(i.Rd), RegName(i.Rn), i.op2String())
+	}
+}
+
+// Disassemble decodes and renders a word, falling back to a raw
+// ".word" directive for undecodable encodings.
+func Disassemble(w uint32) string {
+	ins, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	return ins.String()
+}

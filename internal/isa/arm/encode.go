@@ -1,0 +1,304 @@
+package arm
+
+import "fmt"
+
+// EncodeImm encodes a 32-bit value as an ARM data-processing
+// immediate: an 8-bit constant rotated right by an even amount. The
+// second result reports whether the value is representable.
+func EncodeImm(v uint32) (uint32, bool) {
+	for rot := uint32(0); rot < 16; rot++ {
+		// field = v rotated LEFT by 2*rot must fit in 8 bits.
+		field := v<<(2*rot) | v>>(32-2*rot)
+		if rot == 0 {
+			field = v
+		}
+		if field <= 0xff {
+			return rot<<8 | field, true
+		}
+	}
+	return 0, false
+}
+
+// DecodeImm expands a 12-bit immediate field into its value.
+func DecodeImm(field uint32) uint32 {
+	rot := (field >> 8) & 0xf * 2
+	imm := field & 0xff
+	if rot == 0 {
+		return imm
+	}
+	return imm>>rot | imm<<(32-rot)
+}
+
+// Encode produces the 32-bit ARM encoding of the instruction.
+func Encode(i Instr) (uint32, error) {
+	w := uint32(i.Cond) << 28
+	switch i.Op {
+	case MUL, MLA:
+		if i.SetFlags {
+			w |= 1 << 20
+		}
+		if i.Op == MLA {
+			w |= 1 << 21
+		}
+		w |= uint32(i.Rd&0xf) << 16
+		w |= uint32(i.Rn&0xf) << 12
+		w |= uint32(i.Rs&0xf) << 8
+		w |= 0x9 << 4
+		w |= uint32(i.Rm & 0xf)
+		return w, nil
+	case LDR, STR:
+		w |= 1 << 26
+		if !i.HasImm {
+			w |= 1 << 25 // register offset
+		}
+		if i.Pre {
+			w |= 1 << 24
+		}
+		if i.Up {
+			w |= 1 << 23
+		}
+		if i.Byte {
+			w |= 1 << 22
+		}
+		if i.Writeback {
+			w |= 1 << 21
+		}
+		if i.Op == LDR {
+			w |= 1 << 20
+		}
+		w |= uint32(i.Rn&0xf) << 16
+		w |= uint32(i.Rd&0xf) << 12
+		if i.HasImm {
+			if i.Imm > 0xfff {
+				return 0, fmt.Errorf("arm: %s offset %d exceeds 12 bits", i.Op, i.Imm)
+			}
+			w |= i.Imm
+		} else {
+			w |= uint32(i.ShiftAmt&0x1f) << 7
+			w |= uint32(i.Shift) << 5
+			w |= uint32(i.Rm & 0xf)
+		}
+		return w, nil
+	case LDRH, STRH, LDRSB, LDRSH:
+		// Halfword / signed transfers: cond 000 P U I W L Rn Rd
+		// offH 1 S H 1 offL.
+		if i.Pre {
+			w |= 1 << 24
+		}
+		if i.Up {
+			w |= 1 << 23
+		}
+		if i.Writeback {
+			w |= 1 << 21
+		}
+		if i.Op != STRH {
+			w |= 1 << 20
+		}
+		w |= uint32(i.Rn&0xf) << 16
+		w |= uint32(i.Rd&0xf) << 12
+		w |= 1<<7 | 1<<4
+		switch i.Op {
+		case LDRH, STRH:
+			w |= 1 << 5 // H
+		case LDRSB:
+			w |= 1 << 6 // S
+		case LDRSH:
+			w |= 1<<6 | 1<<5
+		}
+		if i.HasImm {
+			if i.Imm > 0xff {
+				return 0, fmt.Errorf("arm: %s offset %d exceeds 8 bits", i.Op, i.Imm)
+			}
+			w |= 1 << 22
+			w |= (i.Imm & 0xf0) << 4
+			w |= i.Imm & 0xf
+		} else {
+			w |= uint32(i.Rm & 0xf)
+		}
+		return w, nil
+	case LDM, STM:
+		w |= 0x4 << 25
+		if i.Pre {
+			w |= 1 << 24
+		}
+		if i.Up {
+			w |= 1 << 23
+		}
+		if i.Writeback {
+			w |= 1 << 21
+		}
+		if i.Op == LDM {
+			w |= 1 << 20
+		}
+		w |= uint32(i.Rn&0xf) << 16
+		w |= uint32(i.RegList)
+		return w, nil
+	case B, BL:
+		w |= 0x5 << 25
+		if i.Op == BL {
+			w |= 1 << 24
+		}
+		if i.Offset%4 != 0 {
+			return 0, fmt.Errorf("arm: branch offset %d not word aligned", i.Offset)
+		}
+		w |= uint32(i.Offset>>2) & 0xffffff
+		return w, nil
+	case SWI:
+		w |= 0xf << 24
+		w |= i.Imm & 0xffffff
+		return w, nil
+	default: // data processing
+		if i.Op > MVN {
+			return 0, fmt.Errorf("arm: cannot encode op %s", i.Op)
+		}
+		w |= uint32(i.Op) << 21
+		if i.SetFlags || i.Op == TST || i.Op == TEQ || i.Op == CMP || i.Op == CMN {
+			w |= 1 << 20
+		}
+		w |= uint32(i.Rn&0xf) << 16
+		w |= uint32(i.Rd&0xf) << 12
+		if i.HasImm {
+			field, ok := EncodeImm(i.Imm)
+			if !ok {
+				return 0, fmt.Errorf("arm: immediate %#x not encodable", i.Imm)
+			}
+			w |= 1 << 25
+			w |= field
+		} else if i.HasShiftReg {
+			w |= uint32(i.Rs&0xf) << 8
+			w |= uint32(i.Shift) << 5
+			w |= 1 << 4
+			w |= uint32(i.Rm & 0xf)
+		} else {
+			w |= uint32(i.ShiftAmt&0x1f) << 7
+			w |= uint32(i.Shift) << 5
+			w |= uint32(i.Rm & 0xf)
+		}
+		return w, nil
+	}
+}
+
+// Decode interprets a 32-bit word as an instruction of the subset.
+func Decode(w uint32) (Instr, error) {
+	i := Instr{Raw: w, Cond: Cond(w >> 28)}
+	if i.Cond == NV {
+		return i, fmt.Errorf("arm: decode %#08x: NV condition is reserved", w)
+	}
+	switch {
+	case w>>25&0x7 == 0x5: // branch
+		i.Op = B
+		if w>>24&1 == 1 {
+			i.Op = BL
+		}
+		off := int32(w&0xffffff) << 8 >> 6 // sign-extend 24 bits, <<2
+		i.Offset = off
+		return i, nil
+	case w>>24&0xf == 0xf: // swi
+		i.Op = SWI
+		i.Imm = w & 0xffffff
+		i.HasImm = true
+		return i, nil
+	case w>>22&0x3f == 0 && w>>4&0xf == 0x9: // multiply
+		i.Op = MUL
+		if w>>21&1 == 1 {
+			i.Op = MLA
+		}
+		i.SetFlags = w>>20&1 == 1
+		i.Rd = int(w >> 16 & 0xf)
+		i.Rn = int(w >> 12 & 0xf)
+		i.Rs = int(w >> 8 & 0xf)
+		i.Rm = int(w & 0xf)
+		return i, nil
+	case w>>26&0x3 == 0x1: // single data transfer
+		i.Op = STR
+		if w>>20&1 == 1 {
+			i.Op = LDR
+		}
+		i.Pre = w>>24&1 == 1
+		i.Up = w>>23&1 == 1
+		i.Byte = w>>22&1 == 1
+		i.Writeback = w>>21&1 == 1
+		i.Rn = int(w >> 16 & 0xf)
+		i.Rd = int(w >> 12 & 0xf)
+		if w>>25&1 == 0 {
+			i.HasImm = true
+			i.Imm = w & 0xfff
+		} else {
+			if w>>4&1 == 1 {
+				return i, fmt.Errorf("arm: decode %#08x: register-shift memory offsets unsupported", w)
+			}
+			i.Rm = int(w & 0xf)
+			i.Shift = Shift(w >> 5 & 0x3)
+			i.ShiftAmt = int(w >> 7 & 0x1f)
+		}
+		return i, nil
+	case w>>25&0x7 == 0x4: // block data transfer
+		i.Op = STM
+		if w>>20&1 == 1 {
+			i.Op = LDM
+		}
+		i.Pre = w>>24&1 == 1
+		i.Up = w>>23&1 == 1
+		i.Writeback = w>>21&1 == 1
+		i.Rn = int(w >> 16 & 0xf)
+		i.RegList = uint16(w & 0xffff)
+		return i, nil
+	case w>>26&0x3 == 0: // data processing
+		i.Op = Op(w >> 21 & 0xf)
+		i.SetFlags = w>>20&1 == 1
+		i.Rn = int(w >> 16 & 0xf)
+		i.Rd = int(w >> 12 & 0xf)
+		if w>>25&1 == 1 {
+			i.HasImm = true
+			i.Imm = DecodeImm(w & 0xfff)
+		} else if w>>4&1 == 1 {
+			if w>>7&1 == 1 {
+				// Halfword / signed transfer.
+				sh := w >> 5 & 0x3
+				if sh == 0 {
+					return i, fmt.Errorf("arm: decode %#08x: SWP/extension space unsupported", w)
+				}
+				load := w>>20&1 == 1
+				switch {
+				case sh == 1 && load:
+					i.Op = LDRH
+				case sh == 1:
+					i.Op = STRH
+				case sh == 2 && load:
+					i.Op = LDRSB
+				case sh == 3 && load:
+					i.Op = LDRSH
+				default:
+					return i, fmt.Errorf("arm: decode %#08x: signed store is unpredictable", w)
+				}
+				i.SetFlags = false
+				i.Pre = w>>24&1 == 1
+				i.Up = w>>23&1 == 1
+				i.Writeback = w>>21&1 == 1
+				if w>>22&1 == 1 {
+					i.HasImm = true
+					i.Imm = w>>4&0xf0 | w&0xf
+				} else {
+					i.Rm = int(w & 0xf)
+				}
+				return i, nil
+			}
+			i.HasShiftReg = true
+			i.Rs = int(w >> 8 & 0xf)
+			i.Shift = Shift(w >> 5 & 0x3)
+			i.Rm = int(w & 0xf)
+		} else {
+			i.Shift = Shift(w >> 5 & 0x3)
+			i.ShiftAmt = int(w >> 7 & 0x1f)
+			i.Rm = int(w & 0xf)
+		}
+		switch i.Op {
+		case TST, TEQ, CMP, CMN:
+			if !i.SetFlags {
+				return i, fmt.Errorf("arm: decode %#08x: comparison without S bit (PSR transfer unsupported)", w)
+			}
+		}
+		return i, nil
+	}
+	return i, fmt.Errorf("arm: decode %#08x: unsupported encoding", w)
+}

@@ -1,0 +1,306 @@
+// Package ppc implements a faithful subset of the 32-bit PowerPC
+// user-level instruction set: the substrate of the paper's PowerPC
+// 750 case study. It provides binary encodings, a decoder, an
+// executor, a two-pass assembler and a disassembler.
+//
+// The subset covers integer arithmetic and logic (including the
+// record-form CR0 update), rotate-and-mask, multiply and divide,
+// D-form and X-form loads and stores with update, compares, the
+// conditional-branch machinery (CR bits, CTR decrement, LR/CTR
+// indirect branches), special-purpose register moves and the SC
+// system call — the operation mix a dual-issue out-of-order model
+// must route through its function units.
+package ppc
+
+import "fmt"
+
+// Special-purpose register numbers (mfspr/mtspr).
+const (
+	SPRXER = 1
+	SPRLR  = 8
+	SPRCTR = 9
+)
+
+// CR0 bit indices within the 32-bit condition register (bit 0 is the
+// most significant, PowerPC numbering).
+const (
+	CRLT = 0
+	CRGT = 1
+	CREQ = 2
+	CRSO = 3
+)
+
+// Op enumerates the decoded operations of the subset.
+type Op uint8
+
+// Operations.
+const (
+	ADDI Op = iota
+	ADDIS
+	ADD
+	SUBF
+	NEG
+	MULLW
+	MULLI
+	DIVW
+	DIVWU
+	AND
+	OR
+	XOR
+	ANDI // andi. always records
+	ORI
+	ORIS
+	XORI
+	RLWINM
+	SLW
+	SRW
+	SRAW
+	SRAWI
+	CMP
+	CMPI
+	CMPL
+	CMPLI
+	LWZ
+	LWZU
+	LBZ
+	LHZ
+	LHA
+	STW
+	STWU
+	STB
+	STH
+	LWZX
+	STWX
+	LBZX
+	STBX
+	LHZX
+	LHAX
+	STHX
+	EXTSB
+	EXTSH
+	B
+	BC
+	BCLR
+	BCCTR
+	MFSPR
+	MTSPR
+	SC
+)
+
+var opNames = [...]string{
+	"addi", "addis", "add", "subf", "neg", "mullw", "mulli", "divw", "divwu",
+	"and", "or", "xor", "andi.", "ori", "oris", "xori", "rlwinm",
+	"slw", "srw", "sraw", "srawi",
+	"cmpw", "cmpwi", "cmplw", "cmplwi",
+	"lwz", "lwzu", "lbz", "lhz", "lha", "stw", "stwu", "stb", "sth",
+	"lwzx", "stwx", "lbzx", "stbx", "lhzx", "lhax", "sthx", "extsb", "extsh",
+	"b", "bc", "bclr", "bcctr", "mfspr", "mtspr", "sc",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Class partitions operations by the PowerPC 750 function unit that
+// executes them: IU2 handles simple integer operations, IU1
+// additionally multiplies and divides, LSU loads and stores, BPU
+// branches and SRU system-register moves and traps.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassALU Class = iota // simple integer: IU1 or IU2
+	ClassMul              // multiply/divide: IU1 only
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassSys // SPR moves, sc: system register unit
+)
+
+var classNames = [...]string{"alu", "mul", "load", "store", "branch", "sys"}
+
+func (c Class) String() string { return classNames[c] }
+
+// Instr is a decoded instruction.
+type Instr struct {
+	// Raw is the 32-bit encoding the instruction was decoded from.
+	Raw uint32
+	// Op is the operation.
+	Op Op
+	// RT is the target register (RS for stores — same field).
+	RT int
+	// RA, RB are source registers. For D-form memory and addi, RA=0
+	// reads as the literal zero, not r0.
+	RA, RB int
+	// SI is the sign-extended 16-bit immediate; UI the zero-extended
+	// one.
+	SI int32
+	UI uint32
+	// Rc requests a CR0 update from the result (record forms).
+	Rc bool
+	// SH, MB, ME parameterize rlwinm/srawi.
+	SH, MB, ME int
+	// BO, BI control conditional branches; BD is the sign-extended
+	// branch displacement and LI the I-form displacement, both in
+	// bytes.
+	BO, BI int
+	BD, LI int32
+	// AA selects absolute addressing; LK writes the link register.
+	AA, LK bool
+	// CRF is the target CR field of compares.
+	CRF int
+	// SPR names the special register of mfspr/mtspr.
+	SPR int
+}
+
+// Class reports the operation's function-unit class.
+func (i *Instr) Class() Class {
+	switch i.Op {
+	case MULLW, MULLI, DIVW, DIVWU:
+		return ClassMul
+	case LWZ, LWZU, LBZ, LHZ, LHA, LWZX, LBZX, LHZX, LHAX:
+		return ClassLoad
+	case STW, STWU, STB, STH, STWX, STBX, STHX:
+		return ClassStore
+	case B, BC, BCLR, BCCTR:
+		return ClassBranch
+	case MFSPR, MTSPR, SC:
+		return ClassSys
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the instruction can redirect fetch.
+func (i *Instr) IsBranch() bool {
+	switch i.Op {
+	case B, BC, BCLR, BCCTR, SC:
+		return true
+	}
+	return false
+}
+
+// raZero reports whether the RA field reads as literal zero when 0.
+func (i *Instr) raZero() bool {
+	switch i.Op {
+	case ADDI, ADDIS, LWZ, LBZ, STW, STB, LWZX, STWX, LBZX, STBX:
+		return true
+	}
+	return false
+}
+
+// SrcRegs returns the architectural GPR sources without duplicates.
+func (i *Instr) SrcRegs() []int {
+	var out []int
+	add := func(r int) {
+		if r < 0 {
+			return
+		}
+		for _, x := range out {
+			if x == r {
+				return
+			}
+		}
+		out = append(out, r)
+	}
+	ra := i.RA
+	if ra == 0 && i.raZero() {
+		ra = -1
+	}
+	switch i.Op {
+	case ADDI, ADDIS:
+		add(ra)
+	case MULLI, NEG, CMPI, CMPLI:
+		add(i.RA)
+	case ANDI, ORI, ORIS, XORI, RLWINM, SRAWI, EXTSB, EXTSH:
+		add(i.RT) // RS field: logical ops read RS, write RA
+	case ADD, SUBF, MULLW, DIVW, DIVWU, CMP, CMPL:
+		add(i.RA)
+		add(i.RB)
+	case AND, OR, XOR, SLW, SRW, SRAW:
+		add(i.RT) // RS
+		add(i.RB)
+	case LWZ, LWZU, LBZ, LHZ, LHA:
+		add(ra)
+		if i.Op == LWZU {
+			add(i.RA)
+		}
+	case STW, STWU, STB, STH:
+		add(ra)
+		add(i.RT)
+		if i.Op == STWU {
+			add(i.RA)
+		}
+	case LWZX, LBZX, LHZX, LHAX:
+		add(ra)
+		add(i.RB)
+	case STWX, STBX, STHX:
+		add(ra)
+		add(i.RB)
+		add(i.RT)
+	case MTSPR:
+		add(i.RT)
+	}
+	return out
+}
+
+// DstRegs returns the architectural GPR destinations.
+func (i *Instr) DstRegs() []int {
+	switch i.Op {
+	case ADDI, ADDIS, ADD, SUBF, NEG, MULLW, MULLI, DIVW, DIVWU,
+		LWZ, LBZ, LHZ, LHA, LWZX, LBZX, LHZX, LHAX, MFSPR:
+		return []int{i.RT}
+	case AND, OR, XOR, ANDI, ORI, ORIS, XORI, RLWINM, SLW, SRW, SRAW, SRAWI, EXTSB, EXTSH:
+		return []int{i.RA}
+	case LWZU:
+		return []int{i.RT, i.RA}
+	case STWU:
+		return []int{i.RA}
+	}
+	return nil
+}
+
+// WritesCR reports whether the instruction updates the condition
+// register.
+func (i *Instr) WritesCR() bool {
+	switch i.Op {
+	case CMP, CMPI, CMPL, CMPLI, ANDI:
+		return true
+	}
+	return i.Rc
+}
+
+// ReadsCR reports whether execution consults the condition register.
+func (i *Instr) ReadsCR() bool {
+	switch i.Op {
+	case BC, BCLR, BCCTR:
+		return i.BO&0x10 == 0 // BO bit 0 (0b1x10x) skips the CR test
+	}
+	return false
+}
+
+// ReadsLR and friends report special-register traffic for the
+// micro-architecture models' token identifiers.
+func (i *Instr) ReadsLR() bool { return i.Op == BCLR || (i.Op == MFSPR && i.SPR == SPRLR) }
+
+// WritesLR reports whether the link register is written.
+func (i *Instr) WritesLR() bool { return i.LK || (i.Op == MTSPR && i.SPR == SPRLR) }
+
+// ReadsCTR reports whether the count register is read.
+func (i *Instr) ReadsCTR() bool {
+	if i.Op == BCCTR || (i.Op == MFSPR && i.SPR == SPRCTR) {
+		return true
+	}
+	return (i.Op == BC || i.Op == BCLR) && i.BO&0x4 == 0 // CTR-decrement forms
+}
+
+// WritesCTR reports whether the count register is written.
+func (i *Instr) WritesCTR() bool {
+	if i.Op == MTSPR && i.SPR == SPRCTR {
+		return true
+	}
+	return (i.Op == BC || i.Op == BCLR) && i.BO&0x4 == 0
+}

@@ -1,0 +1,102 @@
+// Package loader defines the framework's program-image container —
+// the stand-in for the user-level ELF binaries the paper's ISSs
+// consume — and loads images into simulation RAM.
+//
+// The format is deliberately minimal: a magic, the target
+// architecture, the load origin, the entry point and the word image.
+// Multi-byte header fields and words are stored big-endian regardless
+// of the target's data endianness.
+package loader
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Arch identifies the instruction set of an image.
+type Arch uint8
+
+// Architectures.
+const (
+	ArchARM Arch = 1
+	ArchPPC Arch = 2
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchARM:
+		return "arm"
+	case ArchPPC:
+		return "ppc"
+	}
+	return fmt.Sprintf("arch%d", uint8(a))
+}
+
+// Magic identifies an image file.
+const Magic = "OSMB"
+
+// Image is a loadable program.
+type Image struct {
+	// Arch is the target instruction set.
+	Arch Arch
+	// Org is the load address of Words[0].
+	Org uint32
+	// Entry is the initial program counter.
+	Entry uint32
+	// Words is the program text and data.
+	Words []uint32
+}
+
+// Marshal serializes the image.
+func (im *Image) Marshal() []byte {
+	buf := make([]byte, 0, 16+4*len(im.Words))
+	buf = append(buf, Magic...)
+	buf = append(buf, byte(im.Arch), 0, 0, 0)
+	var tmp [4]byte
+	put := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(im.Org)
+	put(im.Entry)
+	put(uint32(len(im.Words)))
+	for _, w := range im.Words {
+		put(w)
+	}
+	return buf
+}
+
+// Unmarshal parses a serialized image.
+func Unmarshal(data []byte) (*Image, error) {
+	if len(data) < 20 || string(data[:4]) != Magic {
+		return nil, fmt.Errorf("loader: not an %s image", Magic)
+	}
+	im := &Image{Arch: Arch(data[4])}
+	if im.Arch != ArchARM && im.Arch != ArchPPC {
+		return nil, fmt.Errorf("loader: unknown architecture %d", data[4])
+	}
+	im.Org = binary.BigEndian.Uint32(data[8:])
+	im.Entry = binary.BigEndian.Uint32(data[12:])
+	n := binary.BigEndian.Uint32(data[16:])
+	if uint64(len(data)) < 20+4*uint64(n) {
+		return nil, fmt.Errorf("loader: truncated image: header says %d words, have %d bytes", n, len(data)-20)
+	}
+	im.Words = make([]uint32, n)
+	for i := range im.Words {
+		im.Words[i] = binary.BigEndian.Uint32(data[20+4*i:])
+	}
+	return im, nil
+}
+
+// WordLoader is the memory operation the loader needs; *mem.RAM
+// satisfies it.
+type WordLoader interface {
+	Write32(addr uint32, v uint32)
+}
+
+// Load places the image in memory.
+func (im *Image) Load(m WordLoader) {
+	for i, w := range im.Words {
+		m.Write32(im.Org+uint32(4*i), w)
+	}
+}

@@ -1,0 +1,82 @@
+package loader
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	im := &Image{Arch: ArchARM, Org: 0x100, Entry: 0x104, Words: []uint32{1, 2, 0xdeadbeef}}
+	got, err := Unmarshal(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arch != im.Arch || got.Org != im.Org || got.Entry != im.Entry ||
+		len(got.Words) != 3 || got.Words[2] != 0xdeadbeef {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("short")); err == nil {
+		t.Error("short input must error")
+	}
+	im := &Image{Arch: ArchPPC, Words: []uint32{1}}
+	data := im.Marshal()
+	data[0] = 'X'
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("bad magic must error")
+	}
+	data = im.Marshal()
+	data[4] = 99
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("bad arch must error")
+	}
+	data = im.Marshal()
+	if _, err := Unmarshal(data[:len(data)-2]); err == nil {
+		t.Error("truncated words must error")
+	}
+}
+
+func TestLoadPlacesWords(t *testing.T) {
+	im := &Image{Arch: ArchARM, Org: 0x40, Words: []uint32{7, 8}}
+	r := mem.NewRAM(256, mem.LittleEndian)
+	im.Load(r)
+	if r.Read32(0x40) != 7 || r.Read32(0x44) != 8 {
+		t.Fatal("Load placed words wrongly")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if ArchARM.String() != "arm" || ArchPPC.String() != "ppc" || Arch(7).String() == "" {
+		t.Fatal("Arch strings wrong")
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(org, entry uint32, words []uint32, ppcArch bool) bool {
+		a := ArchARM
+		if ppcArch {
+			a = ArchPPC
+		}
+		im := &Image{Arch: a, Org: org, Entry: entry, Words: words}
+		got, err := Unmarshal(im.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Arch != a || got.Org != org || got.Entry != entry || len(got.Words) != len(words) {
+			return false
+		}
+		for i := range words {
+			if got.Words[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package mem
+
+// Hierarchy bundles the split first-level caches, TLBs and the
+// backing store of a processor model: the memory subsystem boxes of
+// the paper's Figure 5 (I-cache, ITLB, D-cache, DTLB, memory bus,
+// memory). It prices instruction fetches and data accesses; the
+// pipeline models convert nonzero stall components into stage busy
+// time via their token manager interfaces.
+type Hierarchy struct {
+	// ICache and DCache may be nil (perfect caches).
+	ICache, DCache *Cache
+	// L2 is the optional unified second-level cache.
+	L2 *Cache
+	// ITLB and DTLB may be nil (perfect translation).
+	ITLB, DTLB *TLB
+}
+
+// HierarchyConfig sizes a default StrongARM-like hierarchy: 16 KiB
+// 32-way I-cache, 8 KiB 32-way D-cache (the SA-1100's organization),
+// 32-entry TLBs and a fixed-latency memory.
+type HierarchyConfig struct {
+	ICacheKB, DCacheKB int
+	Ways, LineBytes    int
+	HitLatency         uint64
+	MemLatency         uint64
+	TLBEntries         int
+	TLBMissPenalty     uint64
+	WriteBack          bool
+	DisableCaches      bool
+	DisableTLBs        bool
+	// L2KB, when positive, inserts a unified second-level cache
+	// (8-way, same line size, L2Latency per hit) between the split
+	// first-level caches and memory — the 750's back-side L2.
+	L2KB      int
+	L2Latency uint64
+}
+
+// DefaultHierarchyConfig returns the SA-1100-like organization used
+// by the StrongARM case study.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		ICacheKB: 16, DCacheKB: 8, Ways: 32, LineBytes: 32,
+		HitLatency: 0, MemLatency: 20,
+		TLBEntries: 32, TLBMissPenalty: 20,
+		WriteBack: true,
+	}
+}
+
+// Sets returns the per-L1-cache set count implied by the D-cache
+// sizing (useful for constructing conflict patterns in tests).
+func (c HierarchyConfig) Sets() int {
+	lines := c.DCacheKB * 1024 / c.LineBytes
+	sets := lines / c.Ways
+	if sets == 0 {
+		sets = 1
+	}
+	return sets
+}
+
+// NewHierarchy builds the hierarchy; both caches share one backing
+// store model.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{}
+	if !cfg.DisableCaches {
+		var backing Level = &FixedLatency{Lat: cfg.MemLatency}
+		if cfg.L2KB > 0 {
+			const l2Ways = 8
+			lines := cfg.L2KB * 1024 / cfg.LineBytes
+			sets := lines / l2Ways
+			if sets == 0 {
+				sets = 1
+			}
+			lat := cfg.L2Latency
+			if lat == 0 {
+				lat = 6
+			}
+			h.L2 = NewCache(CacheConfig{
+				Name: "l2", Sets: sets, Ways: l2Ways, LineBytes: cfg.LineBytes,
+				HitLatency: lat, WriteBack: true,
+			}, backing)
+			backing = h.L2
+		}
+		mkCache := func(name string, kb int) *Cache {
+			lines := kb * 1024 / cfg.LineBytes
+			sets := lines / cfg.Ways
+			if sets == 0 {
+				sets = 1
+			}
+			return NewCache(CacheConfig{
+				Name: name, Sets: sets, Ways: cfg.Ways, LineBytes: cfg.LineBytes,
+				HitLatency: cfg.HitLatency, WriteBack: cfg.WriteBack,
+			}, backing)
+		}
+		h.ICache = mkCache("icache", cfg.ICacheKB)
+		h.DCache = mkCache("dcache", cfg.DCacheKB)
+	}
+	if !cfg.DisableTLBs {
+		h.ITLB = NewTLB(cfg.TLBEntries, 4096, cfg.TLBMissPenalty)
+		h.DTLB = NewTLB(cfg.TLBEntries, 4096, cfg.TLBMissPenalty)
+	}
+	return h
+}
+
+// FetchLatency prices an instruction fetch: extra stall cycles beyond
+// the pipelined single-cycle fetch (0 = no stall).
+func (h *Hierarchy) FetchLatency(addr uint32) uint64 {
+	var lat uint64
+	if h.ITLB != nil {
+		lat += h.ITLB.Access(addr)
+	}
+	if h.ICache != nil {
+		lat += h.ICache.Access(addr, false)
+	}
+	return lat
+}
+
+// DataLatency prices a data access.
+func (h *Hierarchy) DataLatency(addr uint32, write bool) uint64 {
+	var lat uint64
+	if h.DTLB != nil {
+		lat += h.DTLB.Access(addr)
+	}
+	if h.DCache != nil {
+		lat += h.DCache.Access(addr, write)
+	}
+	return lat
+}

@@ -1,0 +1,78 @@
+package mem
+
+import "fmt"
+
+// TLB is a fully associative translation look-aside buffer timing
+// model with true-LRU replacement. Translation itself is identity —
+// the simulated programs run on physical addresses — so the TLB only
+// contributes hit/miss timing, like the ITLB/DTLB boxes of the
+// paper's Figure 5.
+type TLB struct {
+	// MissPenalty is charged on a miss (table walk).
+	MissPenalty uint64
+
+	pageBits uint
+	entries  []tlbEntry
+	tick     uint64
+	// Stats accumulates access counts.
+	Stats CacheStats
+}
+
+type tlbEntry struct {
+	vpn   uint32
+	valid bool
+	lru   uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size.
+func NewTLB(entries int, pageBytes uint32, missPenalty uint64) *TLB {
+	if entries <= 0 {
+		panic("mem: TLB entries must be positive")
+	}
+	if pageBytes == 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("mem: page size %d not a power of two", pageBytes))
+	}
+	bits := uint(0)
+	for p := pageBytes; p > 1; p >>= 1 {
+		bits++
+	}
+	return &TLB{MissPenalty: missPenalty, pageBits: bits, entries: make([]tlbEntry, entries)}
+}
+
+// Access prices the translation of addr: zero on a hit, MissPenalty
+// on a miss (the entry is then resident).
+func (t *TLB) Access(addr uint32) uint64 {
+	t.tick++
+	t.Stats.Accesses++
+	vpn := addr >> t.pageBits
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].vpn == vpn {
+			t.Stats.Hits++
+			t.entries[i].lru = t.tick
+			return 0
+		}
+	}
+	t.Stats.Misses++
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	if t.entries[victim].valid {
+		t.Stats.Evictions++
+	}
+	t.entries[victim] = tlbEntry{vpn: vpn, valid: true, lru: t.tick}
+	return t.MissPenalty
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = tlbEntry{}
+	}
+}

@@ -1,0 +1,238 @@
+package osm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the model analyses sketched in Section 6 of the
+// paper: because the OSM specification is purely declarative — a
+// rule-based state machine over token transactions — operation
+// properties such as reservation tables and operand latencies can be
+// extracted statically, for use by a retargetable compiler's scheduler
+// or for validation.
+
+// Path is one simple cycle through a machine's state graph, starting
+// and ending at the initial state: one possible life of an operation.
+type Path []*Edge
+
+// String renders the path as "I -e0-> F -e1-> D ...".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "<empty>"
+	}
+	var b strings.Builder
+	b.WriteString(p[0].From.Name)
+	for _, e := range p {
+		fmt.Fprintf(&b, " -%s-> %s", e.Name, e.To.Name)
+	}
+	return b.String()
+}
+
+// EnumeratePaths lists the simple cycles of the machine's state graph
+// that start and end at the initial state, visiting no intermediate
+// state twice, up to maxLen edges long. These are the operation's
+// possible flows through the processor. Paths are enumerated in
+// static-priority order (the order a real run would prefer).
+func EnumeratePaths(initial *State, maxLen int) []Path {
+	var out []Path
+	var cur []*Edge
+	seen := map[*State]bool{}
+	var walk func(s *State)
+	walk = func(s *State) {
+		if len(cur) >= maxLen {
+			return
+		}
+		for _, e := range s.Out {
+			if e.To == initial {
+				p := make(Path, len(cur)+1)
+				copy(p, cur)
+				p[len(cur)] = e
+				out = append(out, p)
+				continue
+			}
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			cur = append(cur, e)
+			walk(e.To)
+			cur = cur[:len(cur)-1]
+			seen[e.To] = false
+		}
+	}
+	walk(initial)
+	return out
+}
+
+// StepUse records the resources an operation holds during one step of
+// a path, assuming the best case of one control step per edge.
+type StepUse struct {
+	// State is the state occupied during the step.
+	State *State
+	// Held lists, by manager name and identifier description, the
+	// tokens held while in State (sorted for determinism).
+	Held []string
+}
+
+// ReservationTable computes the sequence of resource holdings along a
+// path: after traversing edge i the operation holds the tokens
+// accumulated by allocations minus releases and discards. Identifier
+// functions cannot be evaluated statically, so dynamic identifiers are
+// rendered as "mgr:dyn" while fixed ones render as "mgr:id". The
+// result is the classical reservation table a compiler scheduler
+// consumes.
+func ReservationTable(p Path) []StepUse {
+	type key struct {
+		mgr string
+		id  string
+	}
+	held := map[key]int{}
+	var out []StepUse
+	for _, e := range p {
+		for _, pr := range e.Prims {
+			k := primKey(pr)
+			switch pr.Op {
+			case OpAllocate:
+				held[k]++
+			case OpRelease:
+				if held[k] > 0 {
+					held[k]--
+				}
+			case OpDiscard:
+				if pr.FixedID == AllTokens && pr.ID == nil {
+					for hk := range held {
+						if pr.Mgr == nil || hk.mgr == pr.Mgr.Name() {
+							delete(held, hk)
+						}
+					}
+				} else if held[k] > 0 {
+					held[k]--
+				}
+			}
+		}
+		var names []string
+		for k, n := range held {
+			for i := 0; i < n; i++ {
+				names = append(names, k.mgr+":"+k.id)
+			}
+		}
+		sort.Strings(names)
+		out = append(out, StepUse{State: e.To, Held: names})
+	}
+	return out
+}
+
+func primKey(p Primitive) (k struct {
+	mgr string
+	id  string
+}) {
+	if p.Mgr != nil {
+		k.mgr = p.Mgr.Name()
+	}
+	if p.ID != nil {
+		k.id = "dyn"
+	} else {
+		k.id = fmt.Sprint(p.FixedID)
+	}
+	return k
+}
+
+// OperandLatency returns, for the given path, the number of edges
+// between the allocation of a token from mgr and its release (or
+// discard), i.e. how long the operation occupies the resource. It
+// returns -1 when the path never allocates from mgr and the path
+// length when it allocates but never gives the token back (a leak the
+// Validate check also reports).
+func OperandLatency(p Path, mgr TokenManager) int {
+	start := -1
+	for i, e := range p {
+		for _, pr := range e.Prims {
+			if pr.Mgr != mgr {
+				if pr.Op == OpDiscard && pr.Mgr == nil && pr.FixedID == AllTokens && start >= 0 {
+					return i - start
+				}
+				continue
+			}
+			switch pr.Op {
+			case OpAllocate:
+				if start < 0 {
+					start = i
+				}
+			case OpRelease, OpDiscard:
+				if start >= 0 {
+					return i - start
+				}
+			}
+		}
+	}
+	if start < 0 {
+		return -1
+	}
+	return len(p) - start
+}
+
+// ValidationIssue describes one structural problem found by Validate.
+type ValidationIssue struct {
+	// Path is the offending operation flow.
+	Path Path
+	// Msg describes the problem.
+	Msg string
+}
+
+func (v ValidationIssue) String() string { return v.Msg + " on path " + v.Path.String() }
+
+// Validate statically checks every operation flow of a machine graph
+// for the token-discipline properties the director enforces at run
+// time: every release names a token some earlier edge of the same path
+// could have allocated, and every path returns to the initial state
+// with an empty (statically tracked) token buffer. It is the formal
+// validation use-case of the paper's Section 6; a clean model returns
+// an empty slice.
+func Validate(initial *State, maxLen int) []ValidationIssue {
+	var issues []ValidationIssue
+	for _, p := range EnumeratePaths(initial, maxLen) {
+		held := map[struct {
+			mgr string
+			id  string
+		}]int{}
+		for _, e := range p {
+			for _, pr := range e.Prims {
+				k := primKey(pr)
+				switch pr.Op {
+				case OpAllocate:
+					held[k]++
+				case OpRelease:
+					if held[k] == 0 {
+						issues = append(issues, ValidationIssue{Path: p, Msg: fmt.Sprintf(
+							"edge %s releases %s:%s which is not held", e.Name, k.mgr, k.id)})
+					} else {
+						held[k]--
+					}
+				case OpDiscard:
+					if pr.FixedID == AllTokens && pr.ID == nil {
+						for hk := range held {
+							if pr.Mgr == nil || (pr.Mgr != nil && hk.mgr == pr.Mgr.Name()) {
+								delete(held, hk)
+							}
+						}
+					} else if held[k] > 0 {
+						held[k]--
+					}
+				}
+			}
+		}
+		var leaked []string
+		for k, n := range held {
+			if n > 0 {
+				leaked = append(leaked, fmt.Sprintf("%s:%s×%d", k.mgr, k.id, n))
+			}
+		}
+		if len(leaked) > 0 {
+			sort.Strings(leaked)
+			issues = append(issues, ValidationIssue{Path: p, Msg: "path ends at initial state still holding " + strings.Join(leaked, ", ")})
+		}
+	}
+	return issues
+}

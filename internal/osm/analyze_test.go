@@ -1,0 +1,161 @@
+package osm
+
+import (
+	"strings"
+	"testing"
+)
+
+// linear builds I -> A -> B -> I with an allocate at the first edge
+// and a release at the last.
+func linear() (*State, *UnitManager) {
+	u := NewUnitManager("u", 1)
+	i, a, b := NewState("I"), NewState("A"), NewState("B")
+	i.Connect("e0", a, Alloc(u, 0))
+	a.Connect("e1", b)
+	b.Connect("e2", i, Release(u, 0))
+	return i, u
+}
+
+func TestEnumeratePathsLinear(t *testing.T) {
+	i, _ := linear()
+	ps := EnumeratePaths(i, 10)
+	if len(ps) != 1 {
+		t.Fatalf("paths = %d, want 1", len(ps))
+	}
+	if got := ps[0].String(); got != "I -e0-> A -e1-> B -e2-> I" {
+		t.Fatalf("path = %q", got)
+	}
+}
+
+func TestEnumeratePathsBranching(t *testing.T) {
+	// Fig. 2-style machine: from R either straight to E or via a
+	// waiting state (reservation station).
+	i, r, w, e := NewState("I"), NewState("R"), NewState("W"), NewState("E")
+	i.Connect("e0", r)
+	r.Connect("fast", e)
+	r.Connect("slow", w)
+	w.Connect("go", e)
+	e.Connect("done", i)
+	ps := EnumeratePaths(i, 10)
+	if len(ps) != 2 {
+		t.Fatalf("paths = %d, want 2", len(ps))
+	}
+	// Priority order: the fast path enumerates first.
+	if !strings.Contains(ps[0].String(), "fast") {
+		t.Fatalf("first path should be the high-priority one: %s", ps[0])
+	}
+}
+
+func TestEnumeratePathsRespectsMaxLen(t *testing.T) {
+	i, _ := linear()
+	if ps := EnumeratePaths(i, 2); len(ps) != 0 {
+		t.Fatalf("maxLen=2 should prune the 3-edge cycle, got %d paths", len(ps))
+	}
+}
+
+func TestReservationTable(t *testing.T) {
+	i, _ := linear()
+	ps := EnumeratePaths(i, 10)
+	rt := ReservationTable(ps[0])
+	if len(rt) != 3 {
+		t.Fatalf("table rows = %d, want 3", len(rt))
+	}
+	if len(rt[0].Held) != 1 || rt[0].Held[0] != "u:0" {
+		t.Fatalf("row 0 holdings = %v, want [u:0]", rt[0].Held)
+	}
+	if len(rt[1].Held) != 1 {
+		t.Fatalf("row 1 holdings = %v, want [u:0]", rt[1].Held)
+	}
+	if len(rt[2].Held) != 0 {
+		t.Fatalf("row 2 holdings = %v, want empty after release", rt[2].Held)
+	}
+}
+
+func TestReservationTableDiscardAll(t *testing.T) {
+	u := NewUnitManager("u", 1)
+	v := NewUnitManager("v", 1)
+	i, a := NewState("I"), NewState("A")
+	i.Connect("e0", a, Alloc(u, 0), Alloc(v, 0))
+	a.Connect("reset", i, Discard(nil, AllTokens))
+	ps := EnumeratePaths(i, 10)
+	rt := ReservationTable(ps[0])
+	if len(rt[0].Held) != 2 {
+		t.Fatalf("row 0 holdings = %v, want two tokens", rt[0].Held)
+	}
+	if len(rt[1].Held) != 0 {
+		t.Fatalf("row 1 holdings = %v, want none after discard-all", rt[1].Held)
+	}
+}
+
+func TestOperandLatency(t *testing.T) {
+	i, u := linear()
+	ps := EnumeratePaths(i, 10)
+	if got := OperandLatency(ps[0], u); got != 2 {
+		t.Fatalf("latency = %d, want 2 (held across e0..e2)", got)
+	}
+	other := NewUnitManager("other", 1)
+	if got := OperandLatency(ps[0], other); got != -1 {
+		t.Fatalf("latency of unused manager = %d, want -1", got)
+	}
+}
+
+func TestOperandLatencyLeakedToken(t *testing.T) {
+	u := NewUnitManager("u", 1)
+	i, a := NewState("I"), NewState("A")
+	i.Connect("e0", a, Alloc(u, 0))
+	a.Connect("e1", i) // leak
+	ps := EnumeratePaths(i, 10)
+	if got := OperandLatency(ps[0], u); got != 2 {
+		t.Fatalf("leaked latency = %d, want path length 2", got)
+	}
+}
+
+func TestValidateCleanModel(t *testing.T) {
+	i, _ := linear()
+	if issues := Validate(i, 10); len(issues) != 0 {
+		t.Fatalf("clean model produced issues: %v", issues)
+	}
+}
+
+func TestValidateDetectsLeak(t *testing.T) {
+	u := NewUnitManager("u", 1)
+	i, a := NewState("I"), NewState("A")
+	i.Connect("e0", a, Alloc(u, 0))
+	a.Connect("e1", i) // no release
+	issues := Validate(i, 10)
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v, want exactly one leak report", issues)
+	}
+	if !strings.Contains(issues[0].String(), "still holding") {
+		t.Fatalf("issue text = %q", issues[0])
+	}
+}
+
+func TestValidateDetectsUnheldRelease(t *testing.T) {
+	u := NewUnitManager("u", 1)
+	i, a := NewState("I"), NewState("A")
+	i.Connect("e0", a)
+	a.Connect("e1", i, Release(u, 0))
+	issues := Validate(i, 10)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "not held") {
+		t.Fatalf("issues = %v, want one unheld-release report", issues)
+	}
+}
+
+func TestValidateAcceptsResetEdges(t *testing.T) {
+	u := NewUnitManager("u", 1)
+	reset := NewResetManager("reset")
+	i, a := NewState("I"), NewState("A")
+	i.Connect("e0", a, Alloc(u, 0))
+	a.Connect("e1", i, Release(u, 0))
+	ResetEdge(a, i, reset)
+	if issues := Validate(i, 10); len(issues) != 0 {
+		t.Fatalf("reset edges must validate cleanly: %v", issues)
+	}
+}
+
+func TestPathStringEmpty(t *testing.T) {
+	if got := (Path{}).String(); got != "<empty>" {
+		t.Fatalf("empty path string = %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package osm
+
+import "testing"
+
+// Micro-benchmarks of the scheduling core, for tracking the cost of
+// the director machinery itself (the efficiency discussion in
+// EXPERIMENTS.md).
+
+func BenchmarkDirectorStepPipeline(b *testing.B) {
+	// A saturated 5-stage ring: 6 machines, ~6 transitions per step.
+	stages := make([]*UnitManager, 5)
+	states := make([]*State, 6)
+	states[0] = NewState("I")
+	for k := 0; k < 5; k++ {
+		stages[k] = NewUnitManager("s", 1)
+		states[k+1] = NewState("S")
+	}
+	states[0].Connect("in", states[1], Alloc(stages[0], 0))
+	for k := 1; k < 5; k++ {
+		states[k].Connect("adv", states[k+1], Release(stages[k-1], 0), Alloc(stages[k], 0))
+	}
+	states[5].Connect("out", states[0], Release(stages[4], 0))
+	d := NewDirector()
+	d.NoRestart = true
+	for _, s := range stages {
+		d.AddManager(s)
+	}
+	for k := 0; k < 6; k++ {
+		d.AddMachine(NewMachine("m", states[0]))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectorStepIdle(b *testing.B) {
+	// All machines blocked: the cost of a step that moves nothing.
+	u := NewUnitManager("u", 1)
+	i, s := NewState("I"), NewState("S")
+	i.Connect("go", s, Alloc(u, 0))
+	s.Connect("stay", i, Release(u, 0))
+	u.SetBusy(0, 1<<62)
+	d := NewDirector()
+	d.AddManager(u)
+	for k := 0; k < 8; k++ {
+		d.AddMachine(NewMachine("m", i))
+	}
+	d.Step() // one machine takes the unit and wedges on the busy gate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTryEdgeConjunction(b *testing.B) {
+	// One machine cycling a 4-primitive edge pair.
+	u1 := NewUnitManager("u1", 1)
+	u2 := NewUnitManager("u2", 1)
+	rf := NewRegFileManager("rf", 8)
+	i, s := NewState("I"), NewState("S")
+	i.Connect("go", s, Alloc(u1, 0), Alloc(u2, 0), Inquire(rf, 3), Alloc(rf, UpdateToken(4)))
+	s.Connect("back", i, Release(u1, 0), Release(u2, 0), Release(rf, UpdateToken(4)))
+	d := NewDirector()
+	d.AddManager(u1, u2, rf)
+	d.AddMachine(NewMachine("m", i))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

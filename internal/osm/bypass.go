@@ -1,0 +1,80 @@
+package osm
+
+// BypassManager models forwarding (bypassing) logic as its own token
+// manager, following the paper's Section 4: "If the processor supports
+// bypassing, we can create another manager working as the bypassing
+// logic. OSMs can inquire either m_r or the bypassing manager for
+// source operand availability."
+//
+// Producers publish a computed register value with a lifetime in
+// control steps; consumers inquire about the register's value token
+// and, on success, read the forwarded value in their edge action. An
+// edge typically carries the bypass inquiry on a higher-priority
+// parallel edge than the plain register-file inquiry, realizing the
+// disjunction "operand from bypass OR from register file".
+type BypassManager struct {
+	BaseManager
+	entries map[int]bypassEntry
+	step    uint64
+}
+
+type bypassEntry struct {
+	val   uint64
+	until uint64 // last step (inclusive) the value is visible
+}
+
+// NewBypassManager returns an empty forwarding network.
+func NewBypassManager(name string) *BypassManager {
+	return &BypassManager{
+		BaseManager: BaseManager{ManagerName: name},
+		entries:     make(map[int]bypassEntry),
+	}
+}
+
+// BeginStep advances the manager's notion of time and expires stale
+// values (Stepper).
+func (b *BypassManager) BeginStep(cycle uint64) {
+	b.step = cycle
+	for reg, e := range b.entries {
+		if e.until < cycle {
+			delete(b.entries, reg)
+		}
+	}
+}
+
+// Publish makes the value of register reg visible on the forwarding
+// network for the remainder of the current control step plus life-1
+// further steps. A producer's execute-stage action publishes with
+// life 1 so that a consumer issuing in the next cycle can pick the
+// value up, exactly like an EX→EX forwarding path.
+func (b *BypassManager) Publish(reg int, val uint64, life uint64) {
+	if life == 0 {
+		life = 1
+	}
+	b.entries[reg] = bypassEntry{val: val, until: b.step + life}
+}
+
+// Read returns the forwarded value of register reg. The second result
+// reports whether a live value is present.
+func (b *BypassManager) Read(reg int) (uint64, bool) {
+	e, ok := b.entries[reg]
+	if !ok || e.until < b.step {
+		return 0, false
+	}
+	return e.val, true
+}
+
+// Allocate always fails: forwarding paths grant no exclusive tokens.
+func (b *BypassManager) Allocate(m *Machine, id TokenID) (Token, bool) {
+	return Token{}, false
+}
+
+// Inquire reports whether a live forwarded value for the register is
+// present.
+func (b *BypassManager) Inquire(m *Machine, id TokenID) bool {
+	_, ok := b.Read(int(id))
+	return ok
+}
+
+// Release always fails: no tokens are ever granted.
+func (b *BypassManager) Release(m *Machine, t Token) bool { return false }

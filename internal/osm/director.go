@@ -1,0 +1,233 @@
+package osm
+
+import "fmt"
+
+// RankFunc orders machines for a control step. It reports whether a
+// should be scheduled before b (a has the higher rank). Rankings may
+// be based on the status and identity of the operations the machines
+// represent.
+type RankFunc func(a, b *Machine) bool
+
+// AgeRank is the default ranking used by the paper's case studies:
+// machines are ranked by their ages, i.e. the order in which they last
+// left the initial state. Seniors (smaller Age) rank higher; machines
+// resting in their initial state rank below all active machines and
+// among themselves keep their registration order, which keeps the
+// model deterministic.
+func AgeRank(a, b *Machine) bool {
+	ai, bi := a.InInitial(), b.InInitial()
+	if ai != bi {
+		return bi // active machine outranks idle machine
+	}
+	if ai { // both idle: registration order (Age holds index 0 here,
+		// so fall through to stable sort order — see Director.Step)
+		return false
+	}
+	return a.Age < b.Age
+}
+
+// Tracer observes director activity. Implementations must be cheap;
+// the director invokes them on every transition when installed.
+type Tracer interface {
+	// Transition is called after machine m commits edge e at the
+	// given control step.
+	Transition(step uint64, m *Machine, e *Edge)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(step uint64, m *Machine, e *Edge)
+
+// Transition calls f.
+func (f TracerFunc) Transition(step uint64, m *Machine, e *Edge) { f(step, m, e) }
+
+// Director coordinates the state transitions of a population of
+// operation state machines, one control step per clock edge, using the
+// deterministic scheduling algorithm of the paper's Figure 3:
+//
+//   - state transition occurs at most once per machine per step;
+//   - a transition occurs as soon as an outgoing edge's condition is
+//     satisfied;
+//   - higher-priority edges are preferred;
+//   - machines are served in rank order, and (unless NoRestart is set)
+//     the scan restarts from the highest-ranked remaining machine
+//     whenever some machine transitions, because that transition may
+//     have freed resources a higher-ranked machine was blocked on.
+type Director struct {
+	// Rank orders the machines at the beginning of each control step.
+	// Nil means AgeRank.
+	Rank RankFunc
+	// NoRestart disables the outer-loop restart. The paper's case
+	// studies enable this optimization because with age-based ranking
+	// no senior operation depends on a junior operation for
+	// resources. An ablation benchmark measures its effect.
+	NoRestart bool
+	// RestartPolicy, when non-nil and NoRestart is false, limits the
+	// outer-loop restart to transitions for which it returns true. A
+	// model that knows which edges can free resources senior machines
+	// wait on (in the 750 model, only the execute-stage releases)
+	// uses this to avoid pointless rescans while keeping Figure 3's
+	// semantics for the transitions that matter.
+	RestartPolicy func(m *Machine, e *Edge) bool
+	// Tracer, if non-nil, observes every committed transition.
+	Tracer Tracer
+	// OnDeadlock, if non-nil, is consulted when CheckDeadlock finds a
+	// cyclic wait; returning nil suppresses the abort.
+	OnDeadlock func(cycle []*Machine) error
+	// CheckDeadlock enables wait-for-cycle detection on steps where
+	// no machine could move. Deadlocks are pathological (a cyclic
+	// pipeline); the director aborts with ErrDeadlock when one is
+	// found.
+	CheckDeadlock bool
+
+	machines []*Machine
+	managers []TokenManager
+	steppers []Stepper
+	step     uint64
+	nextAge  uint64
+	// scratch reused across steps to avoid per-step allocation.
+	list []*Machine
+}
+
+// NewDirector returns an empty director with default (age-based)
+// ranking.
+func NewDirector() *Director { return &Director{} }
+
+// AddMachine registers a machine with the director. Registration
+// order breaks ranking ties, so it must be deterministic.
+func (d *Director) AddMachine(ms ...*Machine) {
+	d.machines = append(d.machines, ms...)
+}
+
+// AddManager registers a token manager. Managers implementing Stepper
+// receive BeginStep at the start of every control step in registration
+// order.
+func (d *Director) AddManager(ms ...TokenManager) {
+	for _, m := range ms {
+		d.managers = append(d.managers, m)
+		if s, ok := m.(Stepper); ok {
+			d.steppers = append(d.steppers, s)
+		}
+	}
+}
+
+// Machines returns the registered machines in registration order.
+func (d *Director) Machines() []*Machine { return d.machines }
+
+// Managers returns the registered managers in registration order.
+func (d *Director) Managers() []TokenManager { return d.managers }
+
+// StepCount returns the number of completed control steps.
+func (d *Director) StepCount() uint64 { return d.step }
+
+// Step runs one control step: it notifies Stepper managers, ranks the
+// machines, and serves token-transaction requests until no machine can
+// transition, per the paper's Figure 3. It returns ErrDeadlock (via
+// errors.Is) if deadlock checking is enabled and a cyclic resource
+// wait is detected.
+func (d *Director) Step() error {
+	for _, s := range d.steppers {
+		s.BeginStep(d.step)
+	}
+	// updateOSMList: rank the machines. Stable sort keeps
+	// registration order for ties, making the schedule deterministic.
+	d.list = d.list[:0]
+	d.list = append(d.list, d.machines...)
+	rank := d.Rank
+	if rank == nil {
+		rank = AgeRank
+	}
+	// Stable insertion sort: machine counts are small and this keeps
+	// the per-step scheduling allocation-free.
+	for i := 1; i < len(d.list); i++ {
+		for j := i; j > 0 && rank(d.list[j], d.list[j-1]); j-- {
+			d.list[j], d.list[j-1] = d.list[j-1], d.list[j]
+		}
+	}
+
+	for _, m := range d.list {
+		m.blocked = m.blocked[:0]
+	}
+
+	list := d.list
+	progressed := false
+	i := 0
+	for i < len(list) {
+		m := list[i]
+		moved := false
+		var moveEdge *Edge
+		wasInitial := m.InInitial()
+		m.blocked = m.blocked[:0] // keep only the final pass's failures
+		for _, e := range m.cur.Out {
+			ok, err := m.tryEdge(e)
+			if err != nil {
+				return fmt.Errorf("osm: step %d: %w", d.step, err)
+			}
+			if !ok {
+				continue
+			}
+			moved, progressed = true, true
+			moveEdge = e
+			if wasInitial && !m.InInitial() {
+				d.nextAge++
+				m.Age = d.nextAge
+			}
+			if d.Tracer != nil {
+				d.Tracer.Transition(d.step, m, e)
+			}
+			break
+		}
+		if moved {
+			// Remove m so it is not scheduled again this step.
+			list = append(list[:i], list[i+1:]...)
+			if d.NoRestart || (d.RestartPolicy != nil && !d.RestartPolicy(m, moveEdge)) {
+				// Continue the scan at the machine that now occupies
+				// index i.
+				continue
+			}
+			// Restart from the remaining machine with the highest
+			// rank: m's transition may have freed resources that a
+			// higher-ranked machine was blocked on.
+			i = 0
+			continue
+		}
+		i++
+	}
+	d.list = list[:0]
+
+	if !progressed && d.CheckDeadlock {
+		if cyc := d.findWaitCycle(); cyc != nil {
+			if d.OnDeadlock != nil {
+				if err := d.OnDeadlock(cyc); err != nil {
+					return err
+				}
+			} else {
+				return fmt.Errorf("%w: %s", ErrDeadlock, cycleString(cyc))
+			}
+		}
+	}
+	d.step++
+	return nil
+}
+
+// Run executes control steps until done returns true or an error
+// occurs, and returns the number of steps executed.
+func (d *Director) Run(done func() bool) (uint64, error) {
+	start := d.step
+	for !done() {
+		if err := d.Step(); err != nil {
+			return d.step - start, err
+		}
+	}
+	return d.step - start, nil
+}
+
+// Reset returns every machine to its initial state and restarts the
+// step and age counters. Manager state is not touched; callers
+// normally rebuild or reset managers alongside.
+func (d *Director) Reset() {
+	for _, m := range d.machines {
+		m.Reset()
+	}
+	d.step = 0
+	d.nextAge = 0
+}

@@ -1,0 +1,33 @@
+// Package osm implements the Operation State Machine (OSM) computation
+// model of Qin and Malik (DATE 2003), a flexible and formal model for
+// micro-architecture simulation.
+//
+// The model separates a microprocessor into two layers:
+//
+//   - The operation layer, where every in-flight machine operation is a
+//     finite state machine (a Machine). States represent execution steps
+//     of the operation; edges carry guard conditions that are
+//     conjunctions of token-transaction primitives.
+//
+//   - The hardware layer, represented by token managers (TokenManager
+//     implementations) that own structure and data resources — pipeline
+//     stages, registers, function units — modeled as tokens.
+//
+// Machines never communicate with each other directly. Their only
+// interaction with the environment is through the four transaction
+// primitives of the Λ language: Allocate, Inquire, Release and Discard.
+// A Director coordinates all machines once per control step using the
+// deterministic rank-ordered scheduling algorithm of the paper's
+// Figure 3. Control steps are synchronized with the clock edges of the
+// hardware layer (see package de for the embedding of the OSM model of
+// computation inside a discrete-event scheduler, the paper's Figure 4).
+//
+// The package also provides a library of reusable token managers that
+// capture the policies recurring across microprocessor models: stage
+// occupancy (UnitManager), register files with update tokens
+// (RegFileManager), forwarding paths (BypassManager), speculative-
+// operation squashing (ResetManager), counted resource pools
+// (PoolManager) and in-order queues (QueueManager). As observed in the
+// paper, token manager interfaces of the same nature are very much
+// alike, so concrete processor models stay small.
+package osm

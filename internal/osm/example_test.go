@@ -1,0 +1,77 @@
+package osm_test
+
+import (
+	"fmt"
+
+	"repro/internal/osm"
+)
+
+// ExampleDirector builds the smallest complete OSM model: operations
+// flowing through a single-stage "processor" whose stage occupancy is
+// one exclusive token. Two machines compete; the director's
+// rank-ordered scheduling hands the stage over within a single
+// control step.
+func ExampleDirector() {
+	stage := osm.NewUnitManager("stage", 1)
+	idle := osm.NewState("I")
+	busy := osm.NewState("S")
+	idle.Connect("enter", busy, osm.Alloc(stage, 0))
+	busy.Connect("leave", idle, osm.Release(stage, 0))
+
+	d := osm.NewDirector()
+	d.AddManager(stage)
+	d.AddMachine(osm.NewMachine("op0", idle), osm.NewMachine("op1", idle))
+	d.Tracer = osm.TracerFunc(func(step uint64, m *osm.Machine, e *osm.Edge) {
+		fmt.Printf("step %d: %s %s\n", step, m.Name, e.Name)
+	})
+
+	for i := 0; i < 3; i++ {
+		if err := d.Step(); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	// Output:
+	// step 0: op0 enter
+	// step 1: op0 leave
+	// step 1: op1 enter
+	// step 2: op1 leave
+	// step 2: op0 enter
+}
+
+// ExampleRegFileManager shows the data-hazard protocol of the paper's
+// Section 4: a writer holds the register-update token while an
+// inquiring reader stalls, then releases it with the result attached.
+func ExampleRegFileManager() {
+	rf := osm.NewRegFileManager("rf", 4)
+	idle := osm.NewState("I")
+	exec := osm.NewState("E")
+	done := osm.NewState("W")
+	idle.Connect("claim", exec, osm.Alloc(rf, osm.UpdateToken(2)))
+	done.Connect("retire", idle, osm.Release(rf, osm.UpdateToken(2)))
+
+	writer := osm.NewMachine("writer", idle)
+	reader := osm.NewMachine("reader", idle)
+
+	d := osm.NewDirector()
+	d.AddManager(rf)
+	d.AddMachine(writer)
+	d.Step() // writer claims the update token for r2
+
+	fmt.Println("r2 readable while pending:", rf.Inquire(reader, osm.TokenID(2)))
+
+	// The writer computes 42, attaches it, and retires.
+	writer.SetData(rf, osm.UpdateToken(2), 42)
+	writer.Ctx = nil
+	// Manually walk the machine through E -> W -> I for the example.
+	exec.Connect("finish", done)
+	d.Step() // E -> finish -> W
+	d.Step() // W -> retire -> I
+
+	fmt.Println("r2 readable after retire:", rf.Inquire(reader, osm.TokenID(2)))
+	fmt.Println("r2 =", rf.Read(2))
+	// Output:
+	// r2 readable while pending: false
+	// r2 readable after retire: true
+	// r2 = 42
+}

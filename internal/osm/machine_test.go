@@ -1,0 +1,374 @@
+package osm
+
+import (
+	"strings"
+	"testing"
+)
+
+// recorder wraps a manager and logs the calls it receives, for
+// asserting the two-phase transaction protocol.
+type recorder struct {
+	TokenManager
+	log []string
+}
+
+func (r *recorder) Allocate(m *Machine, id TokenID) (Token, bool) {
+	t, ok := r.TokenManager.Allocate(m, id)
+	r.log = append(r.log, "alloc")
+	if ok {
+		t.Mgr = r // tokens must point at the wrapper so cancels route back
+	}
+	return t, ok
+}
+
+func (r *recorder) CancelAllocate(m *Machine, t Token) {
+	r.log = append(r.log, "cancel-alloc")
+	r.TokenManager.CancelAllocate(m, t)
+}
+
+func (r *recorder) CommitAllocate(m *Machine, t Token) {
+	r.log = append(r.log, "commit-alloc")
+	r.TokenManager.CommitAllocate(m, t)
+}
+
+func (r *recorder) Inquire(m *Machine, id TokenID) bool {
+	r.log = append(r.log, "inquire")
+	return r.TokenManager.Inquire(m, id)
+}
+
+func (r *recorder) Release(m *Machine, t Token) bool {
+	r.log = append(r.log, "release")
+	return r.TokenManager.Release(m, t)
+}
+
+func (r *recorder) CancelRelease(m *Machine, t Token) {
+	r.log = append(r.log, "cancel-release")
+	r.TokenManager.CancelRelease(m, t)
+}
+
+func (r *recorder) CommitRelease(m *Machine, t Token) {
+	r.log = append(r.log, "commit-release")
+	r.TokenManager.CommitRelease(m, t)
+}
+
+func (r *recorder) Discarded(m *Machine, t Token) {
+	r.log = append(r.log, "discarded")
+	r.TokenManager.Discarded(m, t)
+}
+
+func TestMachineStartsInInitial(t *testing.T) {
+	i := NewState("I")
+	m := NewMachine("op0", i)
+	if !m.InInitial() {
+		t.Fatal("new machine must rest in its initial state")
+	}
+	if m.State() != i {
+		t.Fatalf("State() = %v, want initial", m.State())
+	}
+	if len(m.Tokens()) != 0 {
+		t.Fatalf("initial token buffer not empty: %v", m.Tokens())
+	}
+}
+
+func TestEdgeAllocateMovesAndBuffersToken(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	mf := NewUnitManager("fetch", 1)
+	i.Connect("e0", f, Alloc(mf, 0))
+	m := NewMachine("op0", i)
+
+	ok, err := m.tryEdge(i.Out[0])
+	if err != nil || !ok {
+		t.Fatalf("tryEdge = %v, %v; want true, nil", ok, err)
+	}
+	if m.State() != f {
+		t.Fatalf("state = %s, want F", m.State().Name)
+	}
+	if !m.Holds(mf, 0) {
+		t.Fatal("machine should hold the fetch token after allocation")
+	}
+	if mf.Holder(0) != m {
+		t.Fatal("manager should record the machine as holder")
+	}
+}
+
+func TestEdgeFailsWhenTokenUnavailable(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	mf := NewUnitManager("fetch", 1)
+	i.Connect("e0", f, Alloc(mf, 0))
+	a, b := NewMachine("a", i), NewMachine("b", i)
+
+	if ok, _ := a.tryEdge(i.Out[0]); !ok {
+		t.Fatal("first allocation should succeed")
+	}
+	if ok, _ := b.tryEdge(i.Out[0]); ok {
+		t.Fatal("second allocation of an exclusive unit must fail")
+	}
+	if b.State() != i {
+		t.Fatal("failed transition must not change state")
+	}
+}
+
+func TestConjunctionIsAtomic(t *testing.T) {
+	// Edge needs two tokens; the second is taken, so the tentative
+	// grant of the first must be cancelled and the first unit must
+	// remain free for others.
+	i, d := NewState("I"), NewState("D")
+	m1 := &recorder{TokenManager: NewUnitManager("m1", 1)}
+	m2 := NewUnitManager("m2", 1)
+	i.Connect("e", d, Alloc(m1, 0), Alloc(m2, 0))
+
+	blocker := NewMachine("blocker", i)
+	if _, ok := m2.Allocate(blocker, 0); !ok {
+		t.Fatal("setup: could not occupy m2")
+	}
+
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(i.Out[0]); ok {
+		t.Fatal("edge must fail: m2 is occupied")
+	}
+	got := strings.Join(m1.log, ",")
+	if got != "alloc,cancel-alloc" {
+		t.Fatalf("m1 protocol = %q, want tentative alloc then cancel", got)
+	}
+	if m1.TokenManager.(*UnitManager).Free() != 1 {
+		t.Fatal("cancelled allocation must leave the unit free")
+	}
+	if len(m.Tokens()) != 0 {
+		t.Fatal("failed edge must not leave tokens in the buffer")
+	}
+}
+
+func TestCommitOrderAndAction(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	mf := &recorder{TokenManager: NewUnitManager("fetch", 1)}
+	actionRan := false
+	e := i.Connect("e0", f, Alloc(mf, 0))
+	e.Action = func(m *Machine) {
+		actionRan = true
+		if len(m.Tokens()) != 1 {
+			t.Error("action must run after transactions commit")
+		}
+	}
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(e); !ok {
+		t.Fatal("edge should fire")
+	}
+	if !actionRan {
+		t.Fatal("edge action did not run")
+	}
+	got := strings.Join(mf.log, ",")
+	if got != "alloc,commit-alloc" {
+		t.Fatalf("protocol = %q, want alloc,commit-alloc", got)
+	}
+}
+
+func TestReleaseCarriesAttachedData(t *testing.T) {
+	i, e1, e2 := NewState("I"), NewState("E"), NewState("W")
+	rf := NewRegFileManager("regs", 4)
+	i.Connect("alloc", e1, Alloc(rf, UpdateToken(2)))
+	ed := e1.Connect("rel", e2, Release(rf, UpdateToken(2)))
+	_ = ed
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(i.Out[0]); !ok {
+		t.Fatal("update-token allocation failed")
+	}
+	if err := m.SetData(rf, UpdateToken(2), 0xdead); err != nil {
+		t.Fatalf("SetData: %v", err)
+	}
+	if ok, _ := m.tryEdge(e1.Out[0]); !ok {
+		t.Fatal("release failed")
+	}
+	if got := rf.Read(2); got != 0xdead {
+		t.Fatalf("register value = %#x, want 0xdead", got)
+	}
+	if rf.Pending(2) != 0 {
+		t.Fatal("pending count must drop to zero after release commits")
+	}
+}
+
+func TestSetDataOnUnheldTokenFails(t *testing.T) {
+	i := NewState("I")
+	rf := NewRegFileManager("regs", 4)
+	m := NewMachine("op", i)
+	if err := m.SetData(rf, UpdateToken(1), 1); err == nil {
+		t.Fatal("SetData on an unheld token must return an error")
+	}
+}
+
+func TestReleaseOfUnheldTokenIsModelError(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	mf := NewUnitManager("fetch", 1)
+	i.Connect("bad", f, Release(mf, 0))
+	m := NewMachine("op", i)
+	ok, err := m.tryEdge(i.Out[0])
+	if ok || err == nil {
+		t.Fatalf("releasing an unheld token: got ok=%v err=%v, want model error", ok, err)
+	}
+}
+
+func TestDiscardAllTokens(t *testing.T) {
+	i, f, d := NewState("I"), NewState("F"), NewState("D")
+	mf := &recorder{TokenManager: NewUnitManager("fetch", 1)}
+	md := &recorder{TokenManager: NewUnitManager("decode", 1)}
+	i.Connect("a", f, Alloc(mf, 0))
+	f.Connect("b", d, Alloc(md, 0))
+	d.Connect("reset", i, Discard(nil, AllTokens))
+	m := NewMachine("op", i)
+	for _, s := range []*State{i, f, d} {
+		if ok, err := m.tryEdge(s.Out[0]); !ok || err != nil {
+			t.Fatalf("edge from %s: ok=%v err=%v", s.Name, ok, err)
+		}
+	}
+	if len(m.Tokens()) != 0 {
+		t.Fatalf("discard-all left %d tokens", len(m.Tokens()))
+	}
+	if !strings.Contains(strings.Join(mf.log, ","), "discarded") {
+		t.Fatal("fetch manager not notified of discard")
+	}
+	if !strings.Contains(strings.Join(md.log, ","), "discarded") {
+		t.Fatal("decode manager not notified of discard")
+	}
+	if mf.TokenManager.(*UnitManager).Free() != 1 || md.TokenManager.(*UnitManager).Free() != 1 {
+		t.Fatal("discarded units must be reclaimed")
+	}
+}
+
+func TestDiscardSpecificToken(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	a := NewUnitManager("a", 1)
+	b := NewUnitManager("b", 1)
+	i.Connect("go", f, Alloc(a, 0), Alloc(b, 0))
+	f.Connect("drop-a", i, Discard(a, 0), Release(b, 0))
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(i.Out[0]); !ok {
+		t.Fatal("setup edge failed")
+	}
+	if ok, err := m.tryEdge(f.Out[0]); !ok || err != nil {
+		t.Fatalf("discard edge: ok=%v err=%v", ok, err)
+	}
+	if a.Free() != 1 || b.Free() != 1 {
+		t.Fatal("both units must be free afterwards")
+	}
+}
+
+func TestDiscardOfUnheldTokenSucceeds(t *testing.T) {
+	// Reset edges must stay valid regardless of operation progress.
+	i, f := NewState("I"), NewState("F")
+	a := NewUnitManager("a", 2)
+	i.Connect("go", f)
+	f.Connect("reset", i, Discard(a, 1)) // unit 1 is not held
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(i.Out[0]); !ok {
+		t.Fatal("setup edge failed")
+	}
+	ok, err := m.tryEdge(f.Out[0])
+	if err != nil {
+		t.Fatalf("discard of unheld token must not be a model error: %v", err)
+	}
+	if !ok {
+		t.Fatal("discard of unheld token must succeed")
+	}
+}
+
+func TestReturnToInitialWithTokensIsError(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	a := NewUnitManager("a", 1)
+	i.Connect("go", f, Alloc(a, 0))
+	f.Connect("leak", i) // no release, no discard
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(i.Out[0]); !ok {
+		t.Fatal("setup edge failed")
+	}
+	ok, err := m.tryEdge(f.Out[0])
+	if !ok || err == nil {
+		t.Fatalf("leaking back to initial: ok=%v err=%v, want ok with error", ok, err)
+	}
+}
+
+func TestWhenPredicateGatesEdge(t *testing.T) {
+	i, f, g := NewState("I"), NewState("F"), NewState("G")
+	e1 := i.Connect("mul-path", f)
+	e1.When = func(m *Machine) bool { return m.Ctx == "mul" }
+	i.Connect("alu-path", g)
+	m := NewMachine("op", i)
+	m.Ctx = "add"
+	if ok, _ := m.tryEdge(i.Out[0]); ok {
+		t.Fatal("When=false edge must not fire")
+	}
+	if ok, _ := m.tryEdge(i.Out[1]); !ok {
+		t.Fatal("unguarded edge must fire")
+	}
+	if m.State() != g {
+		t.Fatalf("state = %s, want G", m.State().Name)
+	}
+}
+
+func TestMachineResetClearsEverything(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	a := NewUnitManager("a", 1)
+	i.Connect("go", f, Alloc(a, 0))
+	m := NewMachine("op", i)
+	m.Ctx = "payload"
+	if ok, _ := m.tryEdge(i.Out[0]); !ok {
+		t.Fatal("setup edge failed")
+	}
+	m.Reset()
+	if !m.InInitial() || len(m.Tokens()) != 0 || m.Ctx != nil {
+		t.Fatal("Reset must restore the initial, empty-buffer, no-context condition")
+	}
+	if a.Free() != 1 {
+		t.Fatal("Reset must return tokens to their managers")
+	}
+}
+
+func TestHeldTokenLookup(t *testing.T) {
+	i, f := NewState("I"), NewState("F")
+	a := NewUnitManager("a", 3)
+	i.Connect("go", f, Alloc(a, 2))
+	m := NewMachine("op", i)
+	if ok, _ := m.tryEdge(i.Out[0]); !ok {
+		t.Fatal("setup edge failed")
+	}
+	if _, ok := m.HeldToken(a, 2); !ok {
+		t.Fatal("HeldToken(a,2) should find the token")
+	}
+	if _, ok := m.HeldToken(a, 1); ok {
+		t.Fatal("HeldToken(a,1) should not find a token")
+	}
+	if tok, ok := m.HeldToken(a, AnyUnit); !ok || tok.ID != 2 {
+		t.Fatalf("HeldToken(a,AnyUnit) = %v,%v; want unit 2", tok, ok)
+	}
+}
+
+func TestPrimitiveConstructorsAndStrings(t *testing.T) {
+	a := NewUnitManager("a", 1)
+	cases := []struct {
+		p    Primitive
+		want Op
+	}{
+		{Alloc(a, 0), OpAllocate},
+		{AllocF(a, func(m *Machine) TokenID { return 0 }), OpAllocate},
+		{Inquire(a, 0), OpInquire},
+		{InquireF(a, func(m *Machine) TokenID { return 0 }), OpInquire},
+		{Release(a, 0), OpRelease},
+		{ReleaseF(a, func(m *Machine) TokenID { return 0 }), OpRelease},
+		{Discard(a, 0), OpDiscard},
+	}
+	for _, c := range cases {
+		if c.p.Op != c.want {
+			t.Errorf("constructor built op %v, want %v", c.p.Op, c.want)
+		}
+		if c.p.String() == "" {
+			t.Error("primitive String() should not be empty")
+		}
+	}
+	ops := []Op{OpAllocate, OpInquire, OpRelease, OpDiscard, Op(99)}
+	for _, o := range ops {
+		if o.String() == "" {
+			t.Errorf("Op(%d).String() empty", int(o))
+		}
+	}
+	if (Token{}).String() == "" || (Token{Mgr: a, ID: 1}).String() == "" {
+		t.Error("token String() should not be empty")
+	}
+}

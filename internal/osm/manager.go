@@ -1,0 +1,98 @@
+package osm
+
+// TokenManager is the token manager interface (TMI) through which a
+// hardware module participates in the operation layer. It controls the
+// use of one or more closely related tokens.
+//
+// Transactions are two-phase. The Director evaluates an edge's guard
+// by issuing every primitive as a tentative request; a request may
+// mutate manager state to reflect the tentative grant. If every
+// conjunct succeeds the Director commits them all simultaneously;
+// otherwise it cancels the ones that had succeeded. Managers must
+// restore their pre-request state exactly on cancel.
+//
+// Managers may check the identity (the *Machine) of the requester when
+// making decisions — the reset manager, for instance, only answers
+// inquiries from machines it has marked as squashed.
+type TokenManager interface {
+	// Name identifies the manager in traces, errors and ADL bindings.
+	Name() string
+
+	// Allocate tentatively grants the token named by id to m. It
+	// reports whether the token is available to m; on success the
+	// returned token records the concrete unit granted.
+	Allocate(m *Machine, id TokenID) (Token, bool)
+	// CancelAllocate undoes a successful tentative Allocate.
+	CancelAllocate(m *Machine, t Token)
+	// CommitAllocate finalizes a successful tentative Allocate. After
+	// commit the token sits in m's token buffer.
+	CommitAllocate(m *Machine, t Token)
+
+	// Inquire reports whether the resource unit named by id is
+	// available to m, without transferring ownership. Inquiries are
+	// side-effect free.
+	Inquire(m *Machine, id TokenID) bool
+
+	// Release tentatively accepts the return of t from m. A manager
+	// may reject the request (for example while a variable-latency
+	// access is still in flight), in which case the machine retains
+	// the token and stalls.
+	Release(m *Machine, t Token) bool
+	// CancelRelease undoes a successful tentative Release.
+	CancelRelease(m *Machine, t Token)
+	// CommitRelease finalizes a successful tentative Release; the
+	// token returns to the manager. t.Data carries any payload the
+	// operation attached (for example a computed register value).
+	CommitRelease(m *Machine, t Token)
+
+	// Discarded notifies the manager that m dropped t without
+	// permission (a Discard primitive, used on reset edges). The
+	// manager reclaims the unit unconditionally.
+	Discarded(m *Machine, t Token)
+}
+
+// Stepper is implemented by managers that need a notification at the
+// start of every control step (to age busy counters, clear per-cycle
+// forwarding values, and so on). The Director calls BeginStep on every
+// registered manager that implements it, in registration order, before
+// scheduling any machine.
+type Stepper interface {
+	BeginStep(cycle uint64)
+}
+
+// HolderReporter is implemented by managers that can report which
+// machine currently owns a unit. The deadlock detector uses it to
+// build the wait-for graph of the paper's Section 3.4.
+type HolderReporter interface {
+	// Holder returns the machine owning the unit named by id, or nil
+	// if the unit is free or the id does not resolve to an exclusive
+	// unit.
+	Holder(id TokenID) *Machine
+}
+
+// BaseManager provides no-op commit/cancel/notification methods so
+// that simple managers only implement the request-phase logic they
+// care about. It intentionally does not implement Allocate, Inquire or
+// Release: every concrete manager must decide its own grant policy.
+type BaseManager struct {
+	// ManagerName is returned by Name.
+	ManagerName string
+}
+
+// Name returns the manager's name.
+func (b *BaseManager) Name() string { return b.ManagerName }
+
+// CancelAllocate is a no-op.
+func (b *BaseManager) CancelAllocate(m *Machine, t Token) {}
+
+// CommitAllocate is a no-op.
+func (b *BaseManager) CommitAllocate(m *Machine, t Token) {}
+
+// CancelRelease is a no-op.
+func (b *BaseManager) CancelRelease(m *Machine, t Token) {}
+
+// CommitRelease is a no-op.
+func (b *BaseManager) CommitRelease(m *Machine, t Token) {}
+
+// Discarded is a no-op.
+func (b *BaseManager) Discarded(m *Machine, t Token) {}

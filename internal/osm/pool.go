@@ -1,0 +1,65 @@
+package osm
+
+// PoolManager manages a counted pool of anonymous, interchangeable
+// tokens — entries of a fetch queue or rename-buffer credits. The
+// identifier presented with Allocate is ignored except that AnyUnit is
+// conventional; each grant carries a fresh sequence number so a
+// machine can hold several pool tokens at once.
+type PoolManager struct {
+	BaseManager
+	// AllocGate, if non-nil, must also approve each grant.
+	AllocGate func(m *Machine) bool
+
+	capacity int
+	free     int
+	seq      TokenID
+}
+
+// NewPoolManager returns a pool of n free tokens.
+func NewPoolManager(name string, n int) *PoolManager {
+	return &PoolManager{
+		BaseManager: BaseManager{ManagerName: name},
+		capacity:    n,
+		free:        n,
+	}
+}
+
+// Cap returns the pool's capacity.
+func (p *PoolManager) Cap() int { return p.capacity }
+
+// Free returns the number of tokens currently available.
+func (p *PoolManager) Free() int { return p.free }
+
+// InUse returns the number of tokens currently granted.
+func (p *PoolManager) InUse() int { return p.capacity - p.free }
+
+// Allocate grants a token when the pool is non-empty.
+func (p *PoolManager) Allocate(m *Machine, id TokenID) (Token, bool) {
+	if p.free == 0 {
+		return Token{}, false
+	}
+	if p.AllocGate != nil && !p.AllocGate(m) {
+		return Token{}, false
+	}
+	p.free--
+	p.seq++
+	return Token{Mgr: p, ID: p.seq}, true
+}
+
+// CancelAllocate returns the tentatively granted token to the pool.
+func (p *PoolManager) CancelAllocate(m *Machine, t Token) { p.free++ }
+
+// Inquire reports whether at least one token is available.
+func (p *PoolManager) Inquire(m *Machine, id TokenID) bool { return p.free > 0 }
+
+// Release accepts the return of any granted token.
+func (p *PoolManager) Release(m *Machine, t Token) bool {
+	p.free++
+	return true
+}
+
+// CancelRelease re-takes the tentatively returned token.
+func (p *PoolManager) CancelRelease(m *Machine, t Token) { p.free-- }
+
+// Discarded reclaims a granted token unconditionally.
+func (p *PoolManager) Discarded(m *Machine, t Token) { p.free++ }

@@ -1,0 +1,233 @@
+package osm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests over the manager invariants that the director
+// relies on for correctness.
+
+func TestQuickPoolNeverOverflowsOrUnderflows(t *testing.T) {
+	// Any sequence of allocate/release/discard actions keeps
+	// 0 <= free <= cap.
+	f := func(actions []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%8) + 1
+		p := NewPoolManager("p", capacity)
+		m := NewMachine("m", NewState("I"))
+		var held []Token
+		for _, a := range actions {
+			switch a % 4 {
+			case 0:
+				if tok, ok := p.Allocate(m, AnyUnit); ok {
+					held = append(held, tok)
+				}
+			case 1:
+				if len(held) > 0 {
+					if p.Release(m, held[0]) {
+						held = held[1:]
+					}
+				}
+			case 2:
+				if len(held) > 0 {
+					p.Discarded(m, held[0])
+					held = held[1:]
+				}
+			case 3:
+				if tok, ok := p.Allocate(m, AnyUnit); ok {
+					p.CancelAllocate(m, tok)
+				}
+			}
+			if p.Free() < 0 || p.Free() > p.Cap() {
+				return false
+			}
+			if p.Free()+len(held) != p.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnitManagerExclusivity(t *testing.T) {
+	// However allocation requests interleave, no unit is ever owned
+	// by two machines, and free+owned == total.
+	f := func(actions []uint8) bool {
+		u := NewUnitManager("u", 4)
+		i := NewState("I")
+		ms := []*Machine{NewMachine("a", i), NewMachine("b", i), NewMachine("c", i)}
+		held := map[*Machine][]Token{}
+		for _, a := range actions {
+			m := ms[int(a/4)%len(ms)]
+			switch a % 4 {
+			case 0:
+				if tok, ok := u.Allocate(m, AnyUnit); ok {
+					held[m] = append(held[m], tok)
+				}
+			case 1:
+				if hs := held[m]; len(hs) > 0 {
+					if u.Release(m, hs[0]) {
+						held[m] = hs[1:]
+					}
+				}
+			case 2:
+				if hs := held[m]; len(hs) > 0 {
+					u.Discarded(m, hs[0])
+					held[m] = hs[1:]
+				}
+			case 3:
+				if tok, ok := u.Allocate(m, TokenID(a%4)); ok {
+					u.CancelAllocate(m, tok)
+				}
+			}
+			owned := 0
+			for _, hs := range held {
+				owned += len(hs)
+				for _, tok := range hs {
+					if u.Holder(tok.ID) == nil {
+						return false // held token with no recorded owner
+					}
+				}
+			}
+			if u.Free()+owned != u.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQueueManagerFIFO(t *testing.T) {
+	// Released identifiers always come out in allocation order,
+	// whatever interleaving of allocations and release attempts.
+	f := func(actions []uint8) bool {
+		q := NewQueueManager("q", 5)
+		m := NewMachine("m", NewState("I"))
+		var granted []Token
+		var releasedIDs []TokenID
+		for _, a := range actions {
+			if a%2 == 0 {
+				if tok, ok := q.Allocate(m, AnyUnit); ok {
+					granted = append(granted, tok)
+				}
+			} else if len(granted) > 0 {
+				// Attempt to release a pseudo-random held token; only
+				// the head may succeed.
+				idx := int(a/2) % len(granted)
+				if q.Release(m, granted[idx]) {
+					releasedIDs = append(releasedIDs, granted[idx].ID)
+					granted = append(granted[:idx], granted[idx+1:]...)
+				}
+			}
+		}
+		for i := 1; i < len(releasedIDs); i++ {
+			if releasedIDs[i] <= releasedIDs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRegFilePendingNeverNegative(t *testing.T) {
+	f := func(actions []uint8) bool {
+		rf := NewRegFileManager("rf", 4)
+		rf.RenameDepth = 2
+		m := NewMachine("m", NewState("I"))
+		held := map[int][]Token{}
+		for _, a := range actions {
+			reg := int(a>>2) % 4
+			switch a % 3 {
+			case 0:
+				if tok, ok := rf.Allocate(m, UpdateToken(reg)); ok {
+					held[reg] = append(held[reg], tok)
+				}
+			case 1:
+				if hs := held[reg]; len(hs) > 0 {
+					tok := hs[0]
+					tok.Data = uint64(a)
+					rf.CommitRelease(m, tok)
+					held[reg] = hs[1:]
+				}
+			case 2:
+				if hs := held[reg]; len(hs) > 0 {
+					rf.Discarded(m, hs[0])
+					held[reg] = hs[1:]
+				}
+			}
+			for r := 0; r < 4; r++ {
+				if rf.Pending(r) != len(held[r]) {
+					return false
+				}
+				if rf.Pending(r) < 0 || rf.Pending(r) > 2 {
+					return false
+				}
+				// Value inquiry must agree with pending state.
+				if rf.Inquire(NewMachine("probe", NewState("I")), TokenID(r)) != (rf.Pending(r) == 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDirectorRingAlwaysDrains(t *testing.T) {
+	// A ring pipeline of random depth with a random machine count
+	// never wedges: every program eventually retires every operation.
+	f := func(depthSeed, machSeed, opsSeed uint8) bool {
+		depth := int(depthSeed%4) + 2 // 2..5 stages
+		nmach := int(machSeed%4) + 1  // 1..4 machines
+		nops := int(opsSeed%16) + 1   // 1..16 operations
+		stages := make([]*UnitManager, depth)
+		states := make([]*State, depth+1)
+		states[0] = NewState("I")
+		for k := 0; k < depth; k++ {
+			stages[k] = NewUnitManager("s"+string(rune('0'+k)), 1)
+			states[k+1] = NewState("S" + string(rune('0'+k)))
+		}
+		issued, retired := 0, 0
+		first := states[0].Connect("issue", states[1], Alloc(stages[0], 0))
+		first.When = func(m *Machine) bool { return issued < nops }
+		first.Action = func(m *Machine) { issued++ }
+		for k := 1; k < depth; k++ {
+			states[k].Connect("adv", states[k+1], Release(stages[k-1], 0), Alloc(stages[k], 0))
+		}
+		last := states[depth].Connect("retire", states[0], Release(stages[depth-1], 0))
+		last.Action = func(m *Machine) { retired++ }
+
+		d := NewDirector()
+		d.CheckDeadlock = true
+		for _, s := range stages {
+			d.AddManager(s)
+		}
+		for k := 0; k < nmach; k++ {
+			d.AddMachine(NewMachine("m"+string(rune('0'+k)), states[0]))
+		}
+		limit := (depth + 2) * (nops + nmach + 2)
+		for s := 0; s < limit; s++ {
+			if err := d.Step(); err != nil {
+				return false
+			}
+			if retired == nops {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

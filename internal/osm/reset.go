@@ -1,0 +1,72 @@
+package osm
+
+// ResetManager implements the control-hazard squashing protocol of the
+// paper's Section 4. Models add reset edges — from every speculative
+// state back to the initial state, at the highest static priority —
+// that carry an Inquire directed at this manager plus Discard
+// primitives. The manager rejects inquiries from normal machines, so
+// those edges stay dormant; when a branch mis-prediction resolves, the
+// hardware layer marks the speculative machines and, at the next
+// control step, their reset edges fire, their tokens are discarded and
+// the speculative operations are killed.
+type ResetManager struct {
+	BaseManager
+	marked map[*Machine]bool
+}
+
+// NewResetManager returns a reset manager with no machines marked.
+func NewResetManager(name string) *ResetManager {
+	return &ResetManager{
+		BaseManager: BaseManager{ManagerName: name},
+		marked:      make(map[*Machine]bool),
+	}
+}
+
+// Mark flags a machine as squashed; its next inquiry succeeds.
+func (r *ResetManager) Mark(m *Machine) { r.marked[m] = true }
+
+// Unmark clears a machine's squash flag. Reset edges call it from
+// their Action so the recycled machine is admitted normally when it
+// fetches its next operation.
+func (r *ResetManager) Unmark(m *Machine) { delete(r.marked, m) }
+
+// Marked reports whether m is currently flagged.
+func (r *ResetManager) Marked(m *Machine) bool { return r.marked[m] }
+
+// MarkedCount returns the number of machines currently flagged.
+func (r *ResetManager) MarkedCount() int { return len(r.marked) }
+
+// Allocate always fails; the reset manager grants no tokens.
+func (r *ResetManager) Allocate(m *Machine, id TokenID) (Token, bool) {
+	return Token{}, false
+}
+
+// Inquire accepts only machines that have been marked for squashing.
+func (r *ResetManager) Inquire(m *Machine, id TokenID) bool {
+	if len(r.marked) == 0 {
+		return false
+	}
+	return r.marked[m]
+}
+
+// Release always fails; no tokens are ever granted.
+func (r *ResetManager) Release(m *Machine, t Token) bool { return false }
+
+// ResetEdge adds the canonical reset edge to a state: highest static
+// priority, guarded by an inquiry to reset, discarding all held tokens
+// and returning to initial. The machine is unmarked as part of the
+// edge action. The state's existing edges keep their relative order
+// below the new edge. It returns the edge for further decoration.
+func ResetEdge(from, initial *State, reset *ResetManager) *Edge {
+	e := &Edge{
+		Name:  from.Name + "-reset",
+		From:  from,
+		To:    initial,
+		Prims: []Primitive{Inquire(reset, 0), Discard(nil, AllTokens)},
+		Action: func(m *Machine) {
+			reset.Unmark(m)
+		},
+	}
+	from.Out = append([]*Edge{e}, from.Out...)
+	return e
+}

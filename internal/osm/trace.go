@@ -1,0 +1,117 @@
+package osm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Recorder is a Tracer that accumulates a transition history and
+// per-state / per-edge statistics — the raw material for pipeline
+// diagrams and utilization reports. Install it with
+// director.Tracer = recorder (or chain it from another Tracer).
+type Recorder struct {
+	// Limit bounds the retained history (0 = unlimited). Statistics
+	// always cover the whole run.
+	Limit int
+
+	events     []Event
+	edgeCount  map[string]uint64
+	stateEnter map[string]uint64
+	firstStep  uint64
+	lastStep   uint64
+	any        bool
+}
+
+// Event is one recorded transition.
+type Event struct {
+	// Step is the control step the transition committed in.
+	Step uint64
+	// Machine is the transitioning machine's name.
+	Machine string
+	// Edge, From and To identify the transition.
+	Edge, From, To string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		edgeCount:  make(map[string]uint64),
+		stateEnter: make(map[string]uint64),
+	}
+}
+
+// Transition implements Tracer.
+func (r *Recorder) Transition(step uint64, m *Machine, e *Edge) {
+	if !r.any {
+		r.firstStep, r.any = step, true
+	}
+	r.lastStep = step
+	r.edgeCount[e.Name]++
+	r.stateEnter[e.To.Name]++
+	if r.Limit == 0 || len(r.events) < r.Limit {
+		r.events = append(r.events, Event{
+			Step: step, Machine: m.Name, Edge: e.Name,
+			From: e.From.Name, To: e.To.Name,
+		})
+	}
+}
+
+// Events returns the retained history in commit order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// EdgeCount returns how many times the named edge committed.
+func (r *Recorder) EdgeCount(edge string) uint64 { return r.edgeCount[edge] }
+
+// StateEntries returns how many times any machine entered the named
+// state.
+func (r *Recorder) StateEntries(state string) uint64 { return r.stateEnter[state] }
+
+// Steps returns the number of control steps spanned by the recording.
+func (r *Recorder) Steps() uint64 {
+	if !r.any {
+		return 0
+	}
+	return r.lastStep - r.firstStep + 1
+}
+
+// Utilization returns entries-per-step for the named state — for a
+// single-unit pipeline stage this is its occupancy utilization.
+func (r *Recorder) Utilization(state string) float64 {
+	steps := r.Steps()
+	if steps == 0 {
+		return 0
+	}
+	return float64(r.stateEnter[state]) / float64(steps)
+}
+
+// Report writes a per-edge and per-state summary, sorted by name for
+// determinism.
+func (r *Recorder) Report(w io.Writer) {
+	fmt.Fprintf(w, "steps: %d, transitions: %d\n", r.Steps(), len(r.events))
+	var edges []string
+	for e := range r.edgeCount {
+		edges = append(edges, e)
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		fmt.Fprintf(w, "  edge %-12s %6d\n", e, r.edgeCount[e])
+	}
+	var states []string
+	for s := range r.stateEnter {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "  state %-11s %6d entries (%.2f/step)\n",
+			s, r.stateEnter[s], r.Utilization(s))
+	}
+}
+
+// Reset clears the recording.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.edgeCount = make(map[string]uint64)
+	r.stateEnter = make(map[string]uint64)
+	r.any = false
+}

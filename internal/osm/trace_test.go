@@ -1,0 +1,66 @@
+package osm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCountsAndHistory(t *testing.T) {
+	d, _, _ := twoStage(1)
+	rec := NewRecorder()
+	d.Tracer = rec
+	for i := 0; i < 6; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.EdgeCount("acquire"); got != 3 {
+		t.Fatalf("acquire count = %d, want 3", got)
+	}
+	if got := rec.EdgeCount("retire"); got != 3 {
+		t.Fatalf("retire count = %d, want 3", got)
+	}
+	if got := rec.StateEntries("F"); got != 3 {
+		t.Fatalf("F entries = %d, want 3", got)
+	}
+	if rec.Steps() != 6 {
+		t.Fatalf("Steps = %d, want 6", rec.Steps())
+	}
+	if u := rec.Utilization("F"); u != 0.5 {
+		t.Fatalf("F utilization = %v, want 0.5", u)
+	}
+	evs := rec.Events()
+	if len(evs) != 6 || evs[0].Edge != "acquire" || evs[0].To != "F" || evs[0].Machine != "op0" {
+		t.Fatalf("history wrong: %+v", evs[:1])
+	}
+	var b strings.Builder
+	rec.Report(&b)
+	out := b.String()
+	if !strings.Contains(out, "edge acquire") || !strings.Contains(out, "state F") {
+		t.Fatalf("report missing entries:\n%s", out)
+	}
+}
+
+func TestRecorderLimitAndReset(t *testing.T) {
+	d, _, _ := twoStage(1)
+	rec := NewRecorder()
+	rec.Limit = 2
+	d.Tracer = rec
+	for i := 0; i < 6; i++ {
+		d.Step()
+	}
+	if len(rec.Events()) != 2 {
+		t.Fatalf("history length = %d, want limit 2", len(rec.Events()))
+	}
+	// Counts still cover everything.
+	if rec.EdgeCount("acquire") != 3 {
+		t.Fatal("limit must not truncate statistics")
+	}
+	rec.Reset()
+	if rec.Steps() != 0 || len(rec.Events()) != 0 || rec.EdgeCount("acquire") != 0 {
+		t.Fatal("Reset must clear everything")
+	}
+	if rec.Utilization("F") != 0 {
+		t.Fatal("utilization of an empty recording must be 0")
+	}
+}

@@ -1,0 +1,161 @@
+package osm
+
+import "fmt"
+
+// UnitManager manages a group of identical exclusive units, such as
+// the occupancy of a pipeline stage (one unit), a reservation station
+// (several entries) or a bank of function units. At most one machine
+// owns a unit at a time, which is exactly how structure hazards are
+// resolved in the OSM model: an operation that cannot allocate the
+// next stage's token stalls.
+//
+// Variable latency (the paper's instruction-cache-miss example) is
+// modeled by gating release: while a unit is busy — via SetBusy or a
+// model-supplied ReleaseGate — the manager turns down release
+// requests, so the owning operation stalls in place.
+type UnitManager struct {
+	BaseManager
+	// AllocGate, if non-nil, is an additional admission predicate
+	// consulted before a free unit is granted.
+	AllocGate func(m *Machine, unit TokenID) bool
+	// ReleaseGate, if non-nil, must also approve a release; return
+	// false while the unit's work (e.g. a memory access) is in
+	// flight.
+	ReleaseGate func(m *Machine, unit TokenID) bool
+
+	owner     []*Machine
+	busyUntil []uint64 // first control step at which each unit is free again
+	step      uint64   // current control step, updated by BeginStep
+}
+
+// NewUnitManager returns a manager of n identical exclusive units.
+func NewUnitManager(name string, n int) *UnitManager {
+	if n <= 0 {
+		panic(fmt.Sprintf("osm: NewUnitManager(%q, %d): unit count must be positive", name, n))
+	}
+	return &UnitManager{
+		BaseManager: BaseManager{ManagerName: name},
+		owner:       make([]*Machine, n),
+		busyUntil:   make([]uint64, n),
+	}
+}
+
+// Len returns the number of units.
+func (u *UnitManager) Len() int { return len(u.owner) }
+
+// Free returns the number of currently unowned units.
+func (u *UnitManager) Free() int {
+	n := 0
+	for _, o := range u.owner {
+		if o == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Holder reports the machine owning the given unit (HolderReporter).
+func (u *UnitManager) Holder(id TokenID) *Machine {
+	if id < 0 || int(id) >= len(u.owner) {
+		if id == AnyUnit {
+			return nil
+		}
+		return nil
+	}
+	return u.owner[id]
+}
+
+// SetBusy marks a unit busy for n control steps beyond the current
+// one: a release that would otherwise have succeeded at the next step
+// is delayed by exactly n steps. The hardware layer calls this to
+// model variable-latency activities such as cache misses, the paper's
+// example of a fetch manager turning down token release requests
+// until the access finishes.
+func (u *UnitManager) SetBusy(unit TokenID, n uint64) {
+	u.busyUntil[unit] = u.step + n + 1
+}
+
+// Busy reports the number of control steps (including the current
+// one) for which the unit remains busy.
+func (u *UnitManager) Busy(unit TokenID) uint64 {
+	if u.busyUntil[unit] > u.step {
+		return u.busyUntil[unit] - u.step
+	}
+	return 0
+}
+
+// BeginStep records the current control step (Stepper).
+func (u *UnitManager) BeginStep(cycle uint64) { u.step = cycle }
+
+func (u *UnitManager) pick(m *Machine, id TokenID) (TokenID, bool) {
+	if id == AnyUnit {
+		for i, o := range u.owner {
+			if o == nil {
+				if u.AllocGate != nil && !u.AllocGate(m, TokenID(i)) {
+					continue
+				}
+				return TokenID(i), true
+			}
+		}
+		return 0, false
+	}
+	if id < 0 || int(id) >= len(u.owner) || u.owner[id] != nil {
+		return 0, false
+	}
+	if u.AllocGate != nil && !u.AllocGate(m, id) {
+		return 0, false
+	}
+	return id, true
+}
+
+// Allocate tentatively grants a free unit to m.
+func (u *UnitManager) Allocate(m *Machine, id TokenID) (Token, bool) {
+	unit, ok := u.pick(m, id)
+	if !ok {
+		return Token{}, false
+	}
+	u.owner[unit] = m
+	return Token{Mgr: u, ID: unit}, true
+}
+
+// CancelAllocate frees the tentatively granted unit.
+func (u *UnitManager) CancelAllocate(m *Machine, t Token) { u.owner[t.ID] = nil }
+
+// Inquire reports whether the named unit (or, with AnyUnit, any unit)
+// is free or already owned by m.
+func (u *UnitManager) Inquire(m *Machine, id TokenID) bool {
+	if id == AnyUnit {
+		for _, o := range u.owner {
+			if o == nil || o == m {
+				return true
+			}
+		}
+		return false
+	}
+	if id < 0 || int(id) >= len(u.owner) {
+		return false
+	}
+	return u.owner[id] == nil || u.owner[id] == m
+}
+
+// Release tentatively accepts the return of t unless the unit is busy
+// or the release gate refuses.
+func (u *UnitManager) Release(m *Machine, t Token) bool {
+	if u.busyUntil[t.ID] > u.step {
+		return false
+	}
+	if u.ReleaseGate != nil && !u.ReleaseGate(m, t.ID) {
+		return false
+	}
+	u.owner[t.ID] = nil
+	return true
+}
+
+// CancelRelease restores m's ownership of the unit.
+func (u *UnitManager) CancelRelease(m *Machine, t Token) { u.owner[t.ID] = m }
+
+// Discarded reclaims the unit unconditionally.
+func (u *UnitManager) Discarded(m *Machine, t Token) {
+	u.owner[t.ID] = nil
+	u.busyUntil[t.ID] = 0
+}

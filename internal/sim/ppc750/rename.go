@@ -1,0 +1,207 @@
+package ppc750
+
+import (
+	"math"
+
+	"repro/internal/isa/ppc"
+	"repro/internal/osm"
+)
+
+// Scoreboard indices: GPR0..31, then the condition, link and count
+// registers.
+const (
+	idxCR  = 32
+	idxLR  = 33
+	idxCTR = 34
+	numIdx = 35
+)
+
+// Token identifiers of the rename manager's namespace.
+const (
+	// SrcsToken inquires, at dispatch time, whether every source of
+	// the requesting operation has either committed or been produced
+	// by an already-executed in-flight writer.
+	SrcsToken osm.TokenID = 200
+	// DepsToken inquires, from a reservation station, whether the
+	// producers captured at dispatch have all executed.
+	DepsToken osm.TokenID = 201
+	// WriterToken claims rename buffers for the operation's GPR
+	// destinations and registers it as the newest writer of all its
+	// destinations. Released at completion.
+	WriterToken osm.TokenID = 202
+)
+
+// notReady marks a result that has not been produced yet.
+const notReady = math.MaxUint64
+
+// trackedSrcs lists the scoreboard indices an operation reads.
+func trackedSrcs(ins *ppc.Instr) []int {
+	out := ins.SrcRegs()
+	if ins.ReadsCR() {
+		out = append(out, idxCR)
+	}
+	if ins.ReadsLR() {
+		out = append(out, idxLR)
+	}
+	if ins.ReadsCTR() {
+		out = append(out, idxCTR)
+	}
+	return out
+}
+
+// trackedDsts lists the scoreboard indices an operation writes; the
+// second result is the number of GPR rename buffers it needs.
+func trackedDsts(ins *ppc.Instr) (out []int, gprs int) {
+	out = ins.DstRegs()
+	gprs = len(out)
+	if ins.WritesCR() {
+		out = append(out, idxCR)
+	}
+	if ins.WritesLR() {
+		out = append(out, idxLR)
+	}
+	if ins.WritesCTR() {
+		out = append(out, idxCTR)
+	}
+	return out, gprs
+}
+
+// renamer is the register-file module of the 750 model: it combines
+// the architected register files with their rename buffers. Rather
+// than tracking values (the ISS executes in order at dispatch and is
+// always architecturally exact), it tracks data dependences the way
+// rename hardware does: per architectural register, the newest
+// in-flight producer; per operation, the cycle its result appears on
+// the result buses.
+type renamer struct {
+	osm.BaseManager
+	cycle      uint64
+	lastWriter [numIdx]*op
+	// Rename-buffer pool for GPR destinations.
+	bufCap, bufUsed int
+	undo            map[*osm.Machine][]undoEntry
+}
+
+type undoEntry struct {
+	idx  int
+	prev *op
+}
+
+func newRenamer(renameBuffers int) *renamer {
+	return &renamer{
+		BaseManager: osm.BaseManager{ManagerName: "regfiles+rename"},
+		bufCap:      renameBuffers,
+		undo:        make(map[*osm.Machine][]undoEntry),
+	}
+}
+
+// BeginStep tracks the current control step (osm.Stepper).
+func (r *renamer) BeginStep(cycle uint64) { r.cycle = cycle }
+
+func (r *renamer) srcReady(idx int) bool {
+	w := r.lastWriter[idx]
+	return w == nil || w.resultAt <= r.cycle
+}
+
+// Inquire implements both operand checks. SrcsToken consults the
+// newest-writer table (valid only at dispatch time, before the
+// requester registers itself); DepsToken consults the producer set
+// the operation captured when it was dispatched into a reservation
+// station.
+func (r *renamer) Inquire(m *osm.Machine, id osm.TokenID) bool {
+	o := opOf(m)
+	switch id {
+	case SrcsToken:
+		if !o.decodeOK {
+			return true // surfaces as a dispatch-time model error
+		}
+		for _, s := range o.srcs {
+			if !r.srcReady(s) {
+				return false
+			}
+		}
+		return true
+	case DepsToken:
+		for _, dep := range o.deps {
+			if dep.resultAt > r.cycle {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Allocate grants WriterToken when enough rename buffers are free.
+// It snapshots the operation's producer set — the newest in-flight,
+// not-yet-executed writer of each source, exactly what dispatch
+// hardware latches into a reservation station — and then tentatively
+// registers the operation as the newest writer of its destinations.
+// The snapshot happens first so an operation that reads and writes
+// the same register depends on the older producer, not on itself.
+func (r *renamer) Allocate(m *osm.Machine, id osm.TokenID) (osm.Token, bool) {
+	if id != WriterToken {
+		return osm.Token{}, false
+	}
+	o := opOf(m)
+	dsts, gprs := o.dsts, o.gprDsts
+	if r.bufUsed+gprs > r.bufCap {
+		return osm.Token{}, false
+	}
+	o.deps = o.deps[:0]
+	for _, s := range o.srcs {
+		// Capture every in-flight producer, including one already
+		// executing: readiness is judged against its result time at
+		// issue, so an already-retired producer is harmlessly ready.
+		if w := r.lastWriter[s]; w != nil && w != o {
+			o.deps = append(o.deps, w)
+		}
+	}
+	r.bufUsed += gprs
+	o.renameBufs = gprs
+	var undos []undoEntry
+	for _, d := range dsts {
+		undos = append(undos, undoEntry{idx: d, prev: r.lastWriter[d]})
+		r.lastWriter[d] = o
+	}
+	r.undo[m] = undos
+	return osm.Token{Mgr: r, ID: WriterToken}, true
+}
+
+// CancelAllocate restores the newest-writer table and the buffer pool.
+func (r *renamer) CancelAllocate(m *osm.Machine, t osm.Token) {
+	o := opOf(m)
+	r.bufUsed -= o.renameBufs
+	undos := r.undo[m]
+	for i := len(undos) - 1; i >= 0; i-- {
+		r.lastWriter[undos[i].idx] = undos[i].prev
+	}
+	delete(r.undo, m)
+}
+
+// CommitAllocate discards the undo log; the registration stands.
+func (r *renamer) CommitAllocate(m *osm.Machine, t osm.Token) { delete(r.undo, m) }
+
+// Release accepts the writer token back at completion.
+func (r *renamer) Release(m *osm.Machine, t osm.Token) bool { return true }
+
+// CommitRelease frees the rename buffers. The newest-writer table
+// keeps its pointer: a completed producer's resultAt is in the past,
+// so readers see it as ready, and dropping the entry eagerly would
+// race younger registered writers.
+func (r *renamer) CommitRelease(m *osm.Machine, t osm.Token) {
+	r.bufUsed -= opOf(m).renameBufs
+}
+
+// Discarded reclaims the buffers of a squashed operation and unhooks
+// it from the newest-writer table.
+func (r *renamer) Discarded(m *osm.Machine, t osm.Token) {
+	o := opOf(m)
+	r.bufUsed -= o.renameBufs
+	for i := range r.lastWriter {
+		if r.lastWriter[i] == o {
+			r.lastWriter[i] = nil
+		}
+	}
+	delete(r.undo, m)
+}

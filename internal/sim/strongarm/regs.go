@@ -1,0 +1,152 @@
+// Package strongarm implements the paper's first case study: a
+// cycle-accurate OSM model of the StrongARM (SA-1100) core, a
+// five-stage pipelined implementation of the ARM architecture with
+// forwarding paths and a multi-cycle multiplier.
+//
+// The model follows Section 4 of the paper exactly: each in-flight
+// operation is an operation state machine traversing
+// I → F → D → E → B → W → I; pipeline stages are token managers
+// owning one occupancy token each; the combined register file and
+// forwarding-path module is a token manager resolving data hazards;
+// control hazards use a reset manager with high-priority reset edges;
+// and variable memory latency is modeled by the stage managers
+// refusing token release while an access is in flight. Operation
+// semantics execute in the E-stage edge action by stepping the
+// underlying instruction-set simulator, so the architectural state is
+// always in-order and exact.
+package strongarm
+
+import (
+	"repro/internal/isa/arm"
+	"repro/internal/osm"
+)
+
+// Token identifiers of the register-file manager's namespace.
+const (
+	// SrcsToken inquires about the readiness of every source operand
+	// of the requesting machine's operation (including the CPSR flags
+	// when the operation reads them). The manager inspects the
+	// requester's context, which the paper explicitly allows ("token
+	// managers may check the identity of the requesting OSMs").
+	SrcsToken osm.TokenID = 100
+	// WriterToken allocates the update rights for every destination
+	// register of the requesting machine's operation (plus the flags
+	// when written). It is released at write-back.
+	WriterToken osm.TokenID = 101
+)
+
+// flagsIdx tracks the CPSR condition flags as a 17th scoreboard entry.
+const flagsIdx = 15 // PC (r15) is excluded from dependency tracking
+
+// regFile is the combined register file and forwarding-path module of
+// the StrongARM model. It is a pure timing scoreboard: values live in
+// the underlying ISS (which executes in order at the E stage), so the
+// manager tracks, per register, the number of outstanding updates and
+// the cycle at which the newest result becomes available on the
+// forwarding network.
+type regFile struct {
+	osm.BaseManager
+	cycle   uint64
+	pending [16]int
+	readyAt [16]uint64
+	writers map[*osm.Machine][]int
+}
+
+func newRegFile() *regFile {
+	return &regFile{
+		BaseManager: osm.BaseManager{ManagerName: "regfile+fwd"},
+		writers:     make(map[*osm.Machine][]int),
+	}
+}
+
+// BeginStep tracks the current control step (osm.Stepper).
+func (r *regFile) BeginStep(cycle uint64) { r.cycle = cycle }
+
+// trackedDsts lists the scoreboard indices an operation updates.
+func trackedDsts(ins *arm.Instr) []int {
+	var out []int
+	for _, d := range ins.DstRegs() {
+		if d != arm.PC {
+			out = append(out, d)
+		}
+	}
+	if ins.WritesFlags() {
+		out = append(out, flagsIdx)
+	}
+	return out
+}
+
+// trackedSrcs lists the scoreboard indices an operation reads.
+func trackedSrcs(ins *arm.Instr) []int {
+	var out []int
+	for _, s := range ins.SrcRegs() {
+		if s != arm.PC {
+			out = append(out, s)
+		}
+	}
+	if ins.ReadsFlags() {
+		out = append(out, flagsIdx)
+	}
+	return out
+}
+
+func (r *regFile) available(idx int) bool {
+	return r.pending[idx] == 0 || r.cycle >= r.readyAt[idx]
+}
+
+// Inquire implements the value-token side: SrcsToken succeeds when
+// every source operand is architecturally committed or available on a
+// forwarding path this cycle.
+func (r *regFile) Inquire(m *osm.Machine, id osm.TokenID) bool {
+	if id != SrcsToken {
+		return false
+	}
+	op := ctxOf(m)
+	if !op.decodeOK {
+		return true // wrong-path garbage stalls on nothing
+	}
+	for _, s := range op.srcs {
+		if !r.available(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocate implements the register-update-token side: WriterToken
+// claims update rights for all destinations at once. The in-order
+// pipeline has no WAW limit, so the grant never fails.
+func (r *regFile) Allocate(m *osm.Machine, id osm.TokenID) (osm.Token, bool) {
+	if id != WriterToken {
+		return osm.Token{}, false
+	}
+	dsts := ctxOf(m).dsts
+	for _, d := range dsts {
+		r.pending[d]++
+	}
+	r.writers[m] = dsts
+	return osm.Token{Mgr: r, ID: WriterToken}, true
+}
+
+// CancelAllocate reverses a tentative WriterToken grant.
+func (r *regFile) CancelAllocate(m *osm.Machine, t osm.Token) { r.retire(m) }
+
+// Release always accepts the writer token back.
+func (r *regFile) Release(m *osm.Machine, t osm.Token) bool { return true }
+
+// CommitRelease retires the machine's outstanding updates.
+func (r *regFile) CommitRelease(m *osm.Machine, t osm.Token) { r.retire(m) }
+
+// Discarded retires the updates of a squashed machine.
+func (r *regFile) Discarded(m *osm.Machine, t osm.Token) { r.retire(m) }
+
+func (r *regFile) retire(m *osm.Machine) {
+	for _, d := range r.writers[m] {
+		r.pending[d]--
+	}
+	delete(r.writers, m)
+}
+
+// SetReady publishes a forwarding-network availability time for a
+// scoreboard entry: dependents may issue at cycle `at` or later.
+func (r *regFile) SetReady(idx int, at uint64) { r.readyAt[idx] = at }

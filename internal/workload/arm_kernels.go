@@ -1,0 +1,224 @@
+package workload
+
+// ARM assembly sources of the six kernels. Each template takes the
+// iteration count via %d, reports its checksum with swi #3 and exits
+// with swi #0. Register conventions are local to each kernel.
+
+// armGSM is shared by the analysis (enc) and synthesis (dec) lattice
+// filters; the inner loop body differs.
+const armGSMEnc = `
+	ldr r0, =%d          ; n
+	ldr r1, =12345       ; seed
+	ldr r2, =1664525     ; lcg A
+	ldr r3, =1013904223  ; lcg C
+	mov r4, #0           ; csum
+	ldr r5, =gsm_d
+	ldr r6, =gsm_r
+	mov r7, #0
+	ldr r8, =2896
+init:
+	mul r9, r7, r8
+	add r9, r9, #123
+	str r9, [r6, r7, lsl #2]
+	mov r10, #0
+	str r10, [r5, r7, lsl #2]
+	add r7, r7, #1
+	cmp r7, #8
+	blt init
+outer:
+	cmp r0, #0
+	ble done
+	mul r7, r1, r2
+	add r1, r7, r3       ; seed = seed*A + C
+	mov r7, r1, lsl #16
+	mov r7, r7, lsr #16
+	sub r7, r7, #0x8000  ; u = sample(seed)
+	mov r8, #0           ; k
+inner:
+	ldr r9, [r6, r8, lsl #2]   ; rk
+	ldr r10, [r5, r8, lsl #2]  ; dk
+	mul r11, r9, r7
+	mov r11, r11, asr #15
+	add r11, r10, r11          ; tmp = dk + (rk*u)>>15
+	mul r12, r9, r10
+	mov r12, r12, asr #15
+	add r7, r7, r12            ; u += (rk*dk)>>15
+	str r11, [r5, r8, lsl #2]
+	add r8, r8, #1
+	cmp r8, #8
+	blt inner
+	add r4, r4, r7       ; csum += u
+	sub r0, r0, #1
+	b outer
+done:
+	mov r0, r4
+	swi #3
+	mov r0, #0
+	swi #0
+gsm_d:	.space 32
+gsm_r:	.space 32
+`
+
+const armGSMDec = `
+	ldr r0, =%d          ; n
+	ldr r1, =12345
+	ldr r2, =1664525
+	ldr r3, =1013904223
+	mov r4, #0           ; csum
+	ldr r5, =gsm_d
+	ldr r6, =gsm_r
+	mov r7, #0
+	ldr r8, =2896
+init:
+	mul r9, r7, r8
+	add r9, r9, #123
+	str r9, [r6, r7, lsl #2]
+	mov r10, #0
+	str r10, [r5, r7, lsl #2]
+	add r7, r7, #1
+	cmp r7, #8
+	blt init
+outer:
+	cmp r0, #0
+	ble done
+	mul r7, r1, r2
+	add r1, r7, r3
+	mov r7, r1, lsl #16
+	mov r7, r7, lsr #16
+	sub r7, r7, #0x8000  ; u
+	mov r8, #7           ; k counts down
+inner:
+	ldr r9, [r6, r8, lsl #2]   ; rk
+	ldr r10, [r5, r8, lsl #2]  ; dk
+	mul r11, r9, r10
+	mov r11, r11, asr #15
+	sub r7, r7, r11            ; u -= (rk*dk)>>15
+	mul r12, r9, r7
+	mov r12, r12, asr #15
+	add r10, r10, r12          ; dk += (rk*u)>>15
+	str r10, [r5, r8, lsl #2]
+	subs r8, r8, #1
+	bge inner
+	add r4, r4, r7
+	sub r0, r0, #1
+	b outer
+done:
+	mov r0, r4
+	swi #3
+	mov r0, #0
+	swi #0
+gsm_d:	.space 32
+gsm_r:	.space 32
+`
+
+const armG721Enc = `
+	ldr r0, =%d          ; n
+	ldr r1, =12345       ; seed
+	ldr r2, =1664525
+	ldr r3, =1013904223
+	mov r4, #16          ; step
+	mov r5, #0           ; pred
+	mov r6, #0           ; csum
+	ldr r7, =steptab
+outer:
+	cmp r0, #0
+	ble done
+	mul r8, r1, r2
+	add r1, r8, r3
+	mov r8, r1, lsl #16
+	mov r8, r8, lsr #16
+	sub r8, r8, #0x8000  ; s
+	sub r8, r8, r5       ; diff = s - pred
+	mov r9, #0           ; code
+	cmp r8, #0
+	movlt r9, #4
+	rsblt r8, r8, #0
+	cmp r8, r4
+	orrge r9, r9, #2
+	subge r8, r8, r4
+	cmp r8, r4, asr #1
+	orrge r9, r9, #1
+	and r10, r9, #3      ; dq = (step*(2*(code&3)+1))>>2
+	mov r10, r10, lsl #1
+	add r10, r10, #1
+	mul r11, r4, r10
+	mov r11, r11, asr #2
+	tst r9, #4
+	rsbne r11, r11, #0
+	add r5, r5, r11      ; pred += dq
+	ldr r12, =32767
+	cmp r5, r12
+	movgt r5, r12
+	ldr r12, =-32768
+	cmp r5, r12
+	movlt r5, r12
+	and r10, r9, #3      ; step = (step*tab[code&3])>>8
+	ldr r10, [r7, r10, lsl #2]
+	mul r11, r4, r10
+	mov r4, r11, asr #8
+	cmp r4, #16
+	movlt r4, #16
+	cmp r4, #16384
+	movgt r4, #16384
+	rsb r6, r6, r6, lsl #5   ; csum *= 31
+	add r6, r6, r9
+	sub r0, r0, #1
+	b outer
+done:
+	add r0, r6, r5
+	swi #3
+	mov r0, #0
+	swi #0
+steptab: .word 230, 230, 307, 409
+`
+
+const armG721Dec = `
+	ldr r0, =%d          ; n
+	ldr r1, =12345
+	ldr r2, =1664525
+	ldr r3, =1013904223
+	mov r4, #16          ; step
+	mov r5, #0           ; pred
+	mov r6, #0           ; csum
+	ldr r7, =steptab
+outer:
+	cmp r0, #0
+	ble done
+	mul r8, r1, r2
+	add r1, r8, r3
+	and r9, r1, #7       ; code
+	and r10, r9, #3
+	mov r10, r10, lsl #1
+	add r10, r10, #1
+	mul r11, r4, r10
+	mov r11, r11, asr #2 ; dq
+	tst r9, #4
+	rsbne r11, r11, #0
+	add r5, r5, r11
+	ldr r12, =32767
+	cmp r5, r12
+	movgt r5, r12
+	ldr r12, =-32768
+	cmp r5, r12
+	movlt r5, r12
+	and r10, r9, #3
+	ldr r10, [r7, r10, lsl #2]
+	mul r11, r4, r10
+	mov r4, r11, asr #8
+	cmp r4, #16
+	movlt r4, #16
+	cmp r4, #16384
+	movgt r4, #16384
+	rsb r6, r6, r6, lsl #5
+	mov r12, r5, lsl #16
+	mov r12, r12, lsr #16
+	add r6, r6, r12      ; csum = csum*31 + pred&0xffff
+	sub r0, r0, #1
+	b outer
+done:
+	mov r0, r6
+	swi #3
+	mov r0, #0
+	swi #0
+steptab: .word 230, 230, 307, 409
+`

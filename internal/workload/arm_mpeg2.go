@@ -1,0 +1,306 @@
+package workload
+
+// ARM mpeg2 kernels: an 8-point integer butterfly transform per row
+// with fixed-point multiplies, saturation and (for the encoder)
+// coefficient-dependent shift quantization.
+
+const armMPEG2Dec = `
+	ldr r0, =%d          ; n rows
+	ldr r1, =12345
+	ldr r2, =1664525
+	ldr r3, =1013904223
+	mov r4, #0           ; csum
+blockloop:
+	cmp r0, #0
+	ble done
+	ldr r5, =xtab
+	mov r6, #0
+fill:
+	mul r7, r1, r2
+	add r1, r7, r3
+	mov r7, r1, lsl #20
+	mov r7, r7, lsr #20
+	sub r7, r7, #0x800
+	str r7, [r5, r6, lsl #2]
+	add r6, r6, #1
+	cmp r6, #8
+	blt fill
+	ldr r6, =stab
+	ldr r7, =dtab
+	mov r8, #0
+sd:
+	ldr r9, [r5, r8, lsl #2]
+	rsb r10, r8, #7
+	ldr r10, [r5, r10, lsl #2]
+	add r11, r9, r10
+	str r11, [r6, r8, lsl #2]
+	sub r11, r9, r10
+	str r11, [r7, r8, lsl #2]
+	add r8, r8, #1
+	cmp r8, #4
+	blt sd
+	ldr r8, [r6]         ; s0
+	ldr r9, [r6, #4]     ; s1
+	ldr r10, [r6, #8]    ; s2
+	ldr r11, [r6, #12]   ; s3
+	ldr r5, =ytab
+	add r12, r8, r9
+	add r12, r12, r10
+	add r12, r12, r11
+	str r12, [r5]        ; y0
+	sub r12, r8, r9
+	sub r12, r12, r10
+	add r12, r12, r11
+	str r12, [r5, #16]   ; y4
+	sub r8, r8, r11      ; t = s0-s3
+	sub r9, r9, r10      ; u = s1-s2
+	ldr r12, =2676
+	mul r10, r8, r12
+	ldr r12, =1108
+	mul r11, r9, r12
+	add r10, r10, r11
+	mov r10, r10, asr #11
+	str r10, [r5, #8]    ; y2
+	ldr r12, =1108
+	mul r10, r8, r12
+	ldr r12, =2676
+	mul r11, r9, r12
+	sub r10, r10, r11
+	mov r10, r10, asr #11
+	str r10, [r5, #24]   ; y6
+	ldr r8, [r7]         ; d0
+	ldr r9, [r7, #4]     ; d1
+	ldr r10, [r7, #8]    ; d2
+	ldr r11, [r7, #12]   ; d3
+	ldr r12, =2841
+	mul r6, r8, r12
+	ldr r12, =2408
+	mul lr, r9, r12
+	add r6, r6, lr
+	ldr r12, =1609
+	mul lr, r10, r12
+	add r6, r6, lr
+	ldr r12, =565
+	mul lr, r11, r12
+	add r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #4]     ; y1
+	ldr r12, =2408
+	mul r6, r8, r12
+	ldr r12, =565
+	mul lr, r9, r12
+	sub r6, r6, lr
+	ldr r12, =2841
+	mul lr, r10, r12
+	sub r6, r6, lr
+	ldr r12, =1609
+	mul lr, r11, r12
+	sub r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #12]    ; y3
+	ldr r12, =1609
+	mul r6, r8, r12
+	ldr r12, =2841
+	mul lr, r9, r12
+	sub r6, r6, lr
+	ldr r12, =565
+	mul lr, r10, r12
+	add r6, r6, lr
+	ldr r12, =2408
+	mul lr, r11, r12
+	add r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #20]    ; y5
+	ldr r12, =565
+	mul r6, r8, r12
+	ldr r12, =1609
+	mul lr, r9, r12
+	sub r6, r6, lr
+	ldr r12, =2408
+	mul lr, r10, r12
+	add r6, r6, lr
+	ldr r12, =2841
+	mul lr, r11, r12
+	sub r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #28]    ; y7
+	mov r8, #0
+csum:
+	ldr r9, [r5, r8, lsl #2]
+	ldr r12, =2047
+	cmp r9, r12
+	movgt r9, r12
+	mvn r12, r12         ; -2048
+	cmp r9, r12
+	movlt r9, r12
+	mov r9, r9, lsl #16
+	mov r9, r9, lsr #16
+	rsb r4, r4, r4, lsl #5
+	add r4, r4, r9
+	add r8, r8, #1
+	cmp r8, #8
+	blt csum
+	sub r0, r0, #1
+	b blockloop
+done:
+	mov r0, r4
+	swi #3
+	mov r0, #0
+	swi #0
+xtab: .space 32
+stab: .space 16
+dtab: .space 16
+ytab: .space 32
+`
+
+const armMPEG2Enc = `
+	ldr r0, =%d          ; n rows
+	ldr r1, =12345
+	ldr r2, =1664525
+	ldr r3, =1013904223
+	mov r4, #0           ; csum
+blockloop:
+	cmp r0, #0
+	ble done
+	ldr r5, =xtab
+	mov r6, #0
+fill:
+	mul r7, r1, r2
+	add r1, r7, r3
+	mov r7, r1, lsl #24
+	mov r7, r7, lsr #24
+	sub r7, r7, #0x80
+	str r7, [r5, r6, lsl #2]
+	add r6, r6, #1
+	cmp r6, #8
+	blt fill
+	ldr r6, =stab
+	ldr r7, =dtab
+	mov r8, #0
+sd:
+	ldr r9, [r5, r8, lsl #2]
+	rsb r10, r8, #7
+	ldr r10, [r5, r10, lsl #2]
+	add r11, r9, r10
+	str r11, [r6, r8, lsl #2]
+	sub r11, r9, r10
+	str r11, [r7, r8, lsl #2]
+	add r8, r8, #1
+	cmp r8, #4
+	blt sd
+	ldr r8, [r6]
+	ldr r9, [r6, #4]
+	ldr r10, [r6, #8]
+	ldr r11, [r6, #12]
+	ldr r5, =ytab
+	add r12, r8, r9
+	add r12, r12, r10
+	add r12, r12, r11
+	str r12, [r5]
+	sub r12, r8, r9
+	sub r12, r12, r10
+	add r12, r12, r11
+	str r12, [r5, #16]
+	sub r8, r8, r11
+	sub r9, r9, r10
+	ldr r12, =2676
+	mul r10, r8, r12
+	ldr r12, =1108
+	mul r11, r9, r12
+	add r10, r10, r11
+	mov r10, r10, asr #11
+	str r10, [r5, #8]
+	ldr r12, =1108
+	mul r10, r8, r12
+	ldr r12, =2676
+	mul r11, r9, r12
+	sub r10, r10, r11
+	mov r10, r10, asr #11
+	str r10, [r5, #24]
+	ldr r8, [r7]
+	ldr r9, [r7, #4]
+	ldr r10, [r7, #8]
+	ldr r11, [r7, #12]
+	ldr r12, =2841
+	mul r6, r8, r12
+	ldr r12, =2408
+	mul lr, r9, r12
+	add r6, r6, lr
+	ldr r12, =1609
+	mul lr, r10, r12
+	add r6, r6, lr
+	ldr r12, =565
+	mul lr, r11, r12
+	add r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #4]
+	ldr r12, =2408
+	mul r6, r8, r12
+	ldr r12, =565
+	mul lr, r9, r12
+	sub r6, r6, lr
+	ldr r12, =2841
+	mul lr, r10, r12
+	sub r6, r6, lr
+	ldr r12, =1609
+	mul lr, r11, r12
+	sub r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #12]
+	ldr r12, =1609
+	mul r6, r8, r12
+	ldr r12, =2841
+	mul lr, r9, r12
+	sub r6, r6, lr
+	ldr r12, =565
+	mul lr, r10, r12
+	add r6, r6, lr
+	ldr r12, =2408
+	mul lr, r11, r12
+	add r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #20]
+	ldr r12, =565
+	mul r6, r8, r12
+	ldr r12, =1609
+	mul lr, r9, r12
+	sub r6, r6, lr
+	ldr r12, =2408
+	mul lr, r10, r12
+	add r6, r6, lr
+	ldr r12, =2841
+	mul lr, r11, r12
+	sub r6, r6, lr
+	mov r6, r6, asr #11
+	str r6, [r5, #28]
+	mov r8, #0
+csum:
+	ldr r9, [r5, r8, lsl #2]
+	ldr r12, =2047
+	cmp r9, r12
+	movgt r9, r12
+	mvn r12, r12
+	cmp r9, r12
+	movlt r9, r12
+	and r10, r8, #3      ; quantize: v >>= 1+(k&3)
+	add r10, r10, #1
+	mov r9, r9, asr r10
+	mov r9, r9, lsl #16
+	mov r9, r9, lsr #16
+	rsb r4, r4, r4, lsl #5
+	add r4, r4, r9
+	add r8, r8, #1
+	cmp r8, #8
+	blt csum
+	sub r0, r0, #1
+	b blockloop
+done:
+	mov r0, r4
+	swi #3
+	mov r0, #0
+	swi #0
+xtab: .space 32
+stab: .space 16
+dtab: .space 16
+ytab: .space 32
+`

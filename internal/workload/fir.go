@@ -1,0 +1,186 @@
+package workload
+
+// A 16-bit FIR filter kernel (dsp/fir): the classic DSP inner loop
+// over int16 samples held in memory, exercising the halfword
+// load/store instructions (ldrsh/strh on ARM, lha/sth on PowerPC)
+// with a multiply-accumulate per tap.
+
+const firTaps = 8
+
+// RefDSPFIR filters n LCG-generated 16-bit samples through an 8-tap
+// FIR with fixed coefficients, checksumming the saturated outputs.
+func RefDSPFIR(n int) uint32 {
+	var taps [firTaps]int32
+	for k := 0; k < firTaps; k++ {
+		taps[k] = int32(k*1103 - 4000)
+	}
+	var delay [firTaps]int32 // int16 values, sign-extended
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		seed = lcg(seed)
+		s := sample(seed) // signed 16-bit
+		// Shift the delay line (stored as halfwords in memory).
+		for k := firTaps - 1; k > 0; k-- {
+			delay[k] = delay[k-1]
+		}
+		delay[0] = s
+		acc := int32(0)
+		for k := 0; k < firTaps; k++ {
+			acc += (delay[k] * taps[k]) >> 8
+		}
+		// Saturate to int16 and store back as a halfword.
+		if acc > 32767 {
+			acc = 32767
+		}
+		if acc < -32768 {
+			acc = -32768
+		}
+		csum = csum*31 + uint32(acc)&0xffff
+	}
+	return csum
+}
+
+const armDSPFIR = `
+	ldr r0, =%d          ; n
+	ldr r1, =12345
+	ldr r2, =1664525
+	ldr r3, =1013904223
+	mov r4, #0           ; csum
+	; init taps[k] = k*1103 - 4000 (words) and delay (halfwords) = 0
+	ldr r5, =taps
+	ldr r6, =delay
+	mov r7, #0
+	ldr r8, =1103
+init:
+	mul r9, r7, r8
+	ldr r10, =4000
+	sub r9, r9, r10
+	str r9, [r5, r7, lsl #2]
+	mov r10, #0
+	mov r11, r7, lsl #1
+	strh r10, [r6, r11]
+	add r7, r7, #1
+	cmp r7, #8
+	blt init
+outer:
+	cmp r0, #0
+	ble done
+	mul r7, r1, r2
+	add r1, r7, r3       ; seed
+	mov r7, r1, lsl #16
+	mov r7, r7, lsr #16
+	sub r7, r7, #0x8000  ; s (signed 16-bit in a word)
+	; shift the halfword delay line down
+	mov r8, #7
+shift:
+	sub r9, r8, #1
+	mov r10, r9, lsl #1
+	ldrsh r11, [r6, r10]
+	mov r10, r8, lsl #1
+	strh r11, [r6, r10]
+	subs r8, r8, #1
+	bgt shift
+	strh r7, [r6]        ; delay[0] = s
+	; acc = sum((delay[k]*taps[k])>>8)
+	mov r8, #0           ; k
+	mov r9, #0           ; acc
+taps_loop:
+	mov r10, r8, lsl #1
+	ldrsh r11, [r6, r10]
+	ldr r12, [r5, r8, lsl #2]
+	mul r10, r11, r12
+	add r9, r9, r10, asr #8
+	add r8, r8, #1
+	cmp r8, #8
+	blt taps_loop
+	; saturate to int16
+	ldr r10, =32767
+	cmp r9, r10
+	movgt r9, r10
+	mvn r11, r10         ; -32768
+	cmp r9, r11
+	movlt r9, r11
+	mov r9, r9, lsl #16
+	mov r9, r9, lsr #16
+	rsb r4, r4, r4, lsl #5
+	add r4, r4, r9
+	sub r0, r0, #1
+	b outer
+done:
+	mov r0, r4
+	swi #3
+	mov r0, #0
+	swi #0
+taps:  .space 32
+delay: .space 16
+`
+
+const ppcDSPFIR = `%s` + ppcProlog + `
+	li r8, taps
+	li r9, delay
+	li r10, 0
+	li r11, 1103
+init:
+	mullw r12, r10, r11
+	addi r12, r12, -4000
+	slwi r14, r10, 2
+	stwx r12, r8, r14
+	li r15, 0
+	slwi r14, r10, 1
+	sthx r15, r9, r14
+	addi r10, r10, 1
+	cmpwi r10, 8
+	blt init
+outer:
+	cmpwi r3, 0
+	ble done
+	mullw r10, r4, r5
+	add r4, r10, r6      ; seed
+	andi. r10, r4, 0xffff
+	addi r10, r10, -32768 ; s
+	li r11, 7
+shift:
+	addi r12, r11, -1
+	slwi r14, r12, 1
+	lhax r15, r9, r14
+	slwi r14, r11, 1
+	sthx r15, r9, r14
+	addi r11, r11, -1
+	cmpwi r11, 0
+	bgt shift
+	sth r10, 0(r9)       ; delay[0] = s
+	li r11, 0            ; k
+	li r12, 0            ; acc
+taps_loop:
+	slwi r14, r11, 1
+	lhax r15, r9, r14
+	slwi r14, r11, 2
+	lwzx r16, r8, r14
+	mullw r15, r15, r16
+	srawi r15, r15, 8
+	add r12, r12, r15
+	addi r11, r11, 1
+	cmpwi r11, 8
+	blt taps_loop
+	li r30, 32767
+	cmpw r12, r30
+	ble nomax
+	mr r12, r30
+nomax:
+	neg r15, r30
+	addi r15, r15, -1
+	cmpw r12, r15
+	bge nomin
+	mr r12, r15
+nomin:
+	andi. r12, r12, 0xffff
+	slwi r15, r7, 5
+	sub r7, r15, r7
+	add r7, r7, r12
+	addi r3, r3, -1
+	b outer
+` + ppcEpilog + `
+taps:  .space 32
+delay: .space 16
+`

@@ -1,0 +1,426 @@
+package workload
+
+// PowerPC assembly sources of the six kernels. Each template's %s is
+// replaced by the instruction sequence loading the iteration count
+// into r3. Checksums are reported with sc r0=6; exit is sc r0=1.
+
+const ppcProlog = `
+	li r4, 12345
+	lis r5, 0x19
+	ori r5, r5, 0x660D   ; lcg A = 1664525
+	lis r6, 0x3C6E
+	ori r6, r6, 0xF35F   ; lcg C = 1013904223
+	li r7, 0             ; csum
+`
+
+const ppcEpilog = `
+done:
+	mr r3, r7
+	li r0, 6
+	sc
+	li r3, 0
+	li r0, 1
+	sc
+`
+
+const ppcGSMEnc = `%s` + ppcProlog + `
+	li r8, gsm_d
+	li r9, gsm_r
+	li r10, 0
+	li r11, 2896
+init:
+	mullw r12, r10, r11
+	addi r12, r12, 123
+	slwi r14, r10, 2
+	stwx r12, r9, r14
+	li r15, 0
+	stwx r15, r8, r14
+	addi r10, r10, 1
+	cmpwi r10, 8
+	blt init
+outer:
+	cmpwi r3, 0
+	ble done
+	mullw r11, r4, r5
+	add r4, r11, r6      ; seed
+	andi. r10, r4, 0xffff
+	addi r10, r10, -32768 ; u
+	li r11, 0            ; k
+inner:
+	slwi r12, r11, 2
+	lwzx r14, r9, r12    ; rk
+	lwzx r15, r8, r12    ; dk
+	mullw r16, r14, r10
+	srawi r16, r16, 15
+	add r16, r15, r16    ; tmp
+	mullw r17, r14, r15
+	srawi r17, r17, 15
+	add r10, r10, r17
+	stwx r16, r8, r12
+	addi r11, r11, 1
+	cmpwi r11, 8
+	blt inner
+	add r7, r7, r10
+	addi r3, r3, -1
+	b outer
+` + ppcEpilog + `
+gsm_d: .space 32
+gsm_r: .space 32
+`
+
+const ppcGSMDec = `%s` + ppcProlog + `
+	li r8, gsm_d
+	li r9, gsm_r
+	li r10, 0
+	li r11, 2896
+init:
+	mullw r12, r10, r11
+	addi r12, r12, 123
+	slwi r14, r10, 2
+	stwx r12, r9, r14
+	li r15, 0
+	stwx r15, r8, r14
+	addi r10, r10, 1
+	cmpwi r10, 8
+	blt init
+outer:
+	cmpwi r3, 0
+	ble done
+	mullw r11, r4, r5
+	add r4, r11, r6
+	andi. r10, r4, 0xffff
+	addi r10, r10, -32768 ; u
+	li r11, 7             ; k downwards
+inner:
+	slwi r12, r11, 2
+	lwzx r14, r9, r12     ; rk
+	lwzx r15, r8, r12     ; dk
+	mullw r16, r14, r15
+	srawi r16, r16, 15
+	sub r10, r10, r16     ; u -= (rk*dk)>>15
+	mullw r17, r14, r10
+	srawi r17, r17, 15
+	add r15, r15, r17
+	stwx r15, r8, r12
+	addi r11, r11, -1
+	cmpwi r11, 0
+	bge inner
+	add r7, r7, r10
+	addi r3, r3, -1
+	b outer
+` + ppcEpilog + `
+gsm_d: .space 32
+gsm_r: .space 32
+`
+
+const ppcG721Enc = `%s` + ppcProlog + `
+	li r8, 16            ; step
+	li r9, 0             ; pred
+	li r10, steptab
+	li r30, 32767
+outer:
+	cmpwi r3, 0
+	ble done
+	mullw r11, r4, r5
+	add r4, r11, r6
+	andi. r11, r4, 0xffff
+	addi r11, r11, -32768 ; s
+	sub r11, r11, r9      ; diff
+	li r12, 0             ; code
+	cmpwi r11, 0
+	bge pos
+	li r12, 4
+	neg r11, r11
+pos:
+	cmpw r11, r8
+	blt small
+	ori r12, r12, 2
+	sub r11, r11, r8
+small:
+	srawi r14, r8, 1
+	cmpw r11, r14
+	blt nolow
+	ori r12, r12, 1
+nolow:
+	andi. r14, r12, 3
+	slwi r14, r14, 1
+	addi r14, r14, 1
+	mullw r14, r8, r14
+	srawi r14, r14, 2     ; dq
+	andi. r15, r12, 4
+	cmpwi r15, 0
+	beq posdq
+	neg r14, r14
+posdq:
+	add r9, r9, r14
+	cmpw r9, r30
+	ble nomax
+	mr r9, r30
+nomax:
+	neg r15, r30
+	addi r15, r15, -1     ; -32768
+	cmpw r9, r15
+	bge nomin
+	mr r9, r15
+nomin:
+	andi. r14, r12, 3
+	slwi r14, r14, 2
+	lwzx r14, r10, r14
+	mullw r14, r8, r14
+	srawi r8, r14, 8
+	cmpwi r8, 16
+	bge stepmin
+	li r8, 16
+stepmin:
+	cmpwi r8, 16384
+	ble stepmax
+	li r8, 16384
+stepmax:
+	slwi r14, r7, 5
+	sub r7, r14, r7
+	add r7, r7, r12       ; csum = csum*31 + code
+	addi r3, r3, -1
+	b outer
+done:
+	add r3, r7, r9        ; csum + pred
+	li r0, 6
+	sc
+	li r3, 0
+	li r0, 1
+	sc
+steptab: .word 230, 230, 307, 409
+`
+
+const ppcG721Dec = `%s` + ppcProlog + `
+	li r8, 16            ; step
+	li r9, 0             ; pred
+	li r10, steptab
+	li r30, 32767
+outer:
+	cmpwi r3, 0
+	ble done
+	mullw r11, r4, r5
+	add r4, r11, r6
+	andi. r12, r4, 7     ; code
+	andi. r14, r12, 3
+	slwi r14, r14, 1
+	addi r14, r14, 1
+	mullw r14, r8, r14
+	srawi r14, r14, 2    ; dq
+	andi. r15, r12, 4
+	cmpwi r15, 0
+	beq posdq
+	neg r14, r14
+posdq:
+	add r9, r9, r14
+	cmpw r9, r30
+	ble nomax
+	mr r9, r30
+nomax:
+	neg r15, r30
+	addi r15, r15, -1
+	cmpw r9, r15
+	bge nomin
+	mr r9, r15
+nomin:
+	andi. r14, r12, 3
+	slwi r14, r14, 2
+	lwzx r14, r10, r14
+	mullw r14, r8, r14
+	srawi r8, r14, 8
+	cmpwi r8, 16
+	bge stepmin
+	li r8, 16
+stepmin:
+	cmpwi r8, 16384
+	ble stepmax
+	li r8, 16384
+stepmax:
+	slwi r14, r7, 5
+	sub r7, r14, r7
+	andi. r15, r9, 0xffff
+	add r7, r7, r15      ; csum = csum*31 + pred&0xffff
+	addi r3, r3, -1
+	b outer
+` + ppcEpilog + `
+steptab: .word 230, 230, 307, 409
+`
+
+const ppcMPEG2Common = `
+	li r24, 2841         ; w1
+	li r25, 2676         ; w2
+	li r26, 2408         ; w3
+	li r27, 1609         ; w5
+	li r28, 1108         ; w6
+	li r29, 565          ; w7
+	li r30, 2047         ; saturation max
+`
+
+const ppcMPEG2Butterfly = `
+	lwz r9, 0(r8)
+	lwz r10, 4(r8)
+	lwz r11, 8(r8)
+	lwz r12, 12(r8)
+	lwz r14, 16(r8)
+	lwz r15, 20(r8)
+	lwz r16, 24(r8)
+	lwz r17, 28(r8)
+	add r18, r9, r17     ; s0
+	add r19, r10, r16    ; s1
+	add r20, r11, r15    ; s2
+	add r21, r12, r14    ; s3
+	sub r9, r9, r17      ; d0
+	sub r10, r10, r16    ; d1
+	sub r11, r11, r15    ; d2
+	sub r12, r12, r14    ; d3
+	li r8, ytab
+	add r22, r18, r19
+	add r22, r22, r20
+	add r22, r22, r21
+	stw r22, 0(r8)       ; y0
+	sub r22, r18, r19
+	sub r22, r22, r20
+	add r22, r22, r21
+	stw r22, 16(r8)      ; y4
+	sub r18, r18, r21    ; t = s0-s3
+	sub r19, r19, r20    ; u = s1-s2
+	mullw r22, r18, r25
+	mullw r23, r19, r28
+	add r22, r22, r23
+	srawi r22, r22, 11
+	stw r22, 8(r8)       ; y2
+	mullw r22, r18, r28
+	mullw r23, r19, r25
+	sub r22, r22, r23
+	srawi r22, r22, 11
+	stw r22, 24(r8)      ; y6
+	mullw r22, r9, r24
+	mullw r23, r10, r26
+	add r22, r22, r23
+	mullw r23, r11, r27
+	add r22, r22, r23
+	mullw r23, r12, r29
+	add r22, r22, r23
+	srawi r22, r22, 11
+	stw r22, 4(r8)       ; y1
+	mullw r22, r9, r26
+	mullw r23, r10, r29
+	sub r22, r22, r23
+	mullw r23, r11, r24
+	sub r22, r22, r23
+	mullw r23, r12, r27
+	sub r22, r22, r23
+	srawi r22, r22, 11
+	stw r22, 12(r8)      ; y3
+	mullw r22, r9, r27
+	mullw r23, r10, r24
+	sub r22, r22, r23
+	mullw r23, r11, r29
+	add r22, r22, r23
+	mullw r23, r12, r26
+	add r22, r22, r23
+	srawi r22, r22, 11
+	stw r22, 20(r8)      ; y5
+	mullw r22, r9, r29
+	mullw r23, r10, r27
+	sub r22, r22, r23
+	mullw r23, r11, r26
+	add r22, r22, r23
+	mullw r23, r12, r24
+	sub r22, r22, r23
+	srawi r22, r22, 11
+	stw r22, 28(r8)      ; y7
+`
+
+const ppcMPEG2Dec = `%s` + ppcProlog + ppcMPEG2Common + `
+blockloop:
+	cmpwi r3, 0
+	ble done
+	li r8, xtab
+	li r9, 0
+fill:
+	mullw r10, r4, r5
+	add r4, r10, r6
+	andi. r10, r4, 0xfff
+	addi r10, r10, -2048
+	slwi r11, r9, 2
+	stwx r10, r8, r11
+	addi r9, r9, 1
+	cmpwi r9, 8
+	blt fill
+` + ppcMPEG2Butterfly + `
+	li r9, 0
+csum:
+	slwi r10, r9, 2
+	lwzx r11, r8, r10
+	cmpw r11, r30
+	ble nosatmax
+	mr r11, r30
+nosatmax:
+	neg r12, r30
+	addi r12, r12, -1    ; -2048
+	cmpw r11, r12
+	bge nosatmin
+	mr r11, r12
+nosatmin:
+	andi. r11, r11, 0xffff
+	slwi r12, r7, 5
+	sub r7, r12, r7
+	add r7, r7, r11
+	addi r9, r9, 1
+	cmpwi r9, 8
+	blt csum
+	addi r3, r3, -1
+	b blockloop
+` + ppcEpilog + `
+xtab: .space 32
+ytab: .space 32
+`
+
+const ppcMPEG2Enc = `%s` + ppcProlog + ppcMPEG2Common + `
+blockloop:
+	cmpwi r3, 0
+	ble done
+	li r8, xtab
+	li r9, 0
+fill:
+	mullw r10, r4, r5
+	add r4, r10, r6
+	andi. r10, r4, 0xff
+	addi r10, r10, -128
+	slwi r11, r9, 2
+	stwx r10, r8, r11
+	addi r9, r9, 1
+	cmpwi r9, 8
+	blt fill
+` + ppcMPEG2Butterfly + `
+	li r9, 0
+csum:
+	slwi r10, r9, 2
+	lwzx r11, r8, r10
+	cmpw r11, r30
+	ble nosatmax
+	mr r11, r30
+nosatmax:
+	neg r12, r30
+	addi r12, r12, -1
+	cmpw r11, r12
+	bge nosatmin
+	mr r11, r12
+nosatmin:
+	andi. r12, r9, 3     ; quantize: v >>= 1+(k&3)
+	addi r12, r12, 1
+	sraw r11, r11, r12
+	andi. r11, r11, 0xffff
+	slwi r12, r7, 5
+	sub r7, r12, r7
+	add r7, r7, r11
+	addi r9, r9, 1
+	cmpwi r9, 8
+	blt csum
+	addi r3, r3, -1
+	b blockloop
+` + ppcEpilog + `
+xtab: .space 32
+ytab: .space 32
+`

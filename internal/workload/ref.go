@@ -1,0 +1,221 @@
+// Package workload provides the benchmark programs of the evaluation:
+// six kernels with the computational signature of the MediaBench
+// applications the paper measures (gsm decode/encode, g721
+// decode/encode, mpeg2 decode/encode), each written in ARM and
+// PowerPC assembly against the framework's assemblers, plus exact Go
+// reference implementations used to self-check every simulated run.
+//
+// The kernels stand in for the real MediaBench binaries (a
+// substitution documented in DESIGN.md): what the evaluation needs
+// from them is the operation mix — multiply-accumulate lattice
+// filters (gsm), branchy adaptive quantization (g721) and block
+// transforms with saturation (mpeg2) — not bit-exact codec output.
+// All input data is generated in-program by a 32-bit linear
+// congruential generator so runs are deterministic and need no data
+// files.
+package workload
+
+// lcg advances the shared linear congruential generator.
+func lcg(seed uint32) uint32 { return seed*1664525 + 1013904223 }
+
+const lcgSeed = 12345
+
+// sample converts LCG output into a signed 16-bit sample.
+func sample(seed uint32) int32 { return int32(seed&0xffff) - 0x8000 }
+
+// RefGSMEnc runs the short-term analysis lattice filter over n
+// samples and returns the checksum the assembly kernels report.
+func RefGSMEnc(n int) uint32 {
+	var d [8]int32
+	var r [8]int32
+	for k := 0; k < 8; k++ {
+		r[k] = int32(k*2896 + 123)
+	}
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		seed = lcg(seed)
+		u := sample(seed)
+		for k := 0; k < 8; k++ {
+			di := d[k]
+			tmp := di + (r[k]*u)>>15
+			u = u + (r[k]*di)>>15
+			d[k] = tmp
+		}
+		csum += uint32(u)
+	}
+	return csum
+}
+
+// RefGSMDec runs the synthesis (inverse lattice) filter.
+func RefGSMDec(n int) uint32 {
+	var d [8]int32
+	var r [8]int32
+	for k := 0; k < 8; k++ {
+		r[k] = int32(k*2896 + 123)
+	}
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		seed = lcg(seed)
+		u := sample(seed)
+		for k := 7; k >= 0; k-- {
+			u = u - (r[k]*d[k])>>15
+			d[k] = d[k] + (r[k]*u)>>15
+		}
+		csum += uint32(u)
+	}
+	return csum
+}
+
+// stepMul is the ADPCM step-size adaptation table.
+var stepMul = [4]int32{230, 230, 307, 409}
+
+func clampPred(p int32) int32 {
+	if p > 32767 {
+		return 32767
+	}
+	if p < -32768 {
+		return -32768
+	}
+	return p
+}
+
+func adaptStep(step, code int32) int32 {
+	step = (step * stepMul[code&3]) >> 8
+	if step < 16 {
+		return 16
+	}
+	if step > 16384 {
+		return 16384
+	}
+	return step
+}
+
+// RefG721Enc quantizes n samples with a 3-bit adaptive quantizer.
+func RefG721Enc(n int) uint32 {
+	step, pred := int32(16), int32(0)
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		seed = lcg(seed)
+		s := sample(seed)
+		diff := s - pred
+		code := int32(0)
+		if diff < 0 {
+			code = 4
+			diff = -diff
+		}
+		if diff >= step {
+			code |= 2
+			diff -= step
+		}
+		if diff >= step>>1 {
+			code |= 1
+		}
+		dq := (step * (2*(code&3) + 1)) >> 2
+		if code&4 != 0 {
+			dq = -dq
+		}
+		pred = clampPred(pred + dq)
+		step = adaptStep(step, code)
+		csum = csum*31 + uint32(code)
+	}
+	return csum + uint32(pred)
+}
+
+// RefG721Dec reconstructs samples from LCG-generated 3-bit codes.
+func RefG721Dec(n int) uint32 {
+	step, pred := int32(16), int32(0)
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		seed = lcg(seed)
+		code := int32(seed & 7)
+		dq := (step * (2*(code&3) + 1)) >> 2
+		if code&4 != 0 {
+			dq = -dq
+		}
+		pred = clampPred(pred + dq)
+		step = adaptStep(step, code)
+		csum = csum*31 + uint32(pred)&0xffff
+	}
+	return csum
+}
+
+// DCT constants (11-bit fixed point, the usual integer-IDCT weights).
+const (
+	w1 = 2841
+	w2 = 2676
+	w3 = 2408
+	w5 = 1609
+	w6 = 1108
+	w7 = 565
+)
+
+// idctRow is the 8-point row transform shared by the mpeg2 kernels'
+// references: a real even/odd butterfly structure with fixed-point
+// multiplies and a final saturation.
+func idctRow(x *[8]int32) {
+	s0, s1, s2, s3 := x[0]+x[7], x[1]+x[6], x[2]+x[5], x[3]+x[4]
+	d0, d1, d2, d3 := x[0]-x[7], x[1]-x[6], x[2]-x[5], x[3]-x[4]
+	y := [8]int32{
+		s0 + s1 + s2 + s3,
+		(d0*w1 + d1*w3 + d2*w5 + d3*w7) >> 11,
+		((s0-s3)*w2 + (s1-s2)*w6) >> 11,
+		(d0*w3 - d1*w7 - d2*w1 - d3*w5) >> 11,
+		s0 - s1 - s2 + s3,
+		(d0*w5 - d1*w1 + d2*w7 + d3*w3) >> 11,
+		((s0-s3)*w6 - (s1-s2)*w2) >> 11,
+		(d0*w7 - d1*w5 + d2*w3 - d3*w1) >> 11,
+	}
+	for k := 0; k < 8; k++ {
+		v := y[k]
+		if v > 2047 {
+			v = 2047
+		}
+		if v < -2048 {
+			v = -2048
+		}
+		x[k] = v
+	}
+}
+
+// RefMPEG2Dec transforms n 8-sample rows and checksums the saturated
+// outputs.
+func RefMPEG2Dec(n int) uint32 {
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		var x [8]int32
+		for k := 0; k < 8; k++ {
+			seed = lcg(seed)
+			x[k] = int32(seed&0xfff) - 0x800
+		}
+		idctRow(&x)
+		for k := 0; k < 8; k++ {
+			csum = csum*31 + uint32(x[k])&0xffff
+		}
+	}
+	return csum
+}
+
+// RefMPEG2Enc runs the forward direction: the same butterfly followed
+// by coefficient-dependent shift quantization.
+func RefMPEG2Enc(n int) uint32 {
+	seed := uint32(lcgSeed)
+	var csum uint32
+	for i := 0; i < n; i++ {
+		var x [8]int32
+		for k := 0; k < 8; k++ {
+			seed = lcg(seed)
+			x[k] = int32(seed&0xff) - 0x80
+		}
+		idctRow(&x)
+		for k := 0; k < 8; k++ {
+			v := x[k] >> uint(1+(k&3)) // quantize
+			csum = csum*31 + uint32(v)&0xffff
+		}
+	}
+	return csum
+}

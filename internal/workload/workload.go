@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa/arm"
+	"repro/internal/isa/ppc"
+)
+
+// Workload is one benchmark kernel available for both targets.
+type Workload struct {
+	// Name matches the paper's Table 1 rows (e.g. "gsm/dec").
+	Name string
+	// DefaultN is the iteration count used by the examples and the
+	// benchmark harness's small configurations.
+	DefaultN int
+	// Ref computes the expected checksum for n iterations.
+	Ref func(n int) uint32
+
+	armSrc string // template with one %d (iteration count)
+	ppcSrc string // template with one %s (count-loading sequence)
+}
+
+// All returns the six kernels in the paper's Table 1 order.
+func All() []*Workload {
+	return []*Workload{
+		{Name: "gsm/dec", DefaultN: 500, Ref: RefGSMDec, armSrc: armGSMDec, ppcSrc: ppcGSMDec},
+		{Name: "gsm/enc", DefaultN: 500, Ref: RefGSMEnc, armSrc: armGSMEnc, ppcSrc: ppcGSMEnc},
+		{Name: "g721/dec", DefaultN: 800, Ref: RefG721Dec, armSrc: armG721Dec, ppcSrc: ppcG721Dec},
+		{Name: "g721/enc", DefaultN: 800, Ref: RefG721Enc, armSrc: armG721Enc, ppcSrc: ppcG721Enc},
+		{Name: "mpeg2/dec", DefaultN: 60, Ref: RefMPEG2Dec, armSrc: armMPEG2Dec, ppcSrc: ppcMPEG2Dec},
+		{Name: "mpeg2/enc", DefaultN: 60, Ref: RefMPEG2Enc, armSrc: armMPEG2Enc, ppcSrc: ppcMPEG2Enc},
+	}
+}
+
+// ByName returns the named kernel (MediaBench-like or SPECint-like)
+// or nil.
+func ByName(name string) *Workload {
+	for _, w := range Mix() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// ARMSource returns the kernel's ARM assembly for n iterations.
+func (w *Workload) ARMSource(n int) string { return fmt.Sprintf(w.armSrc, n) }
+
+// ARMProgram assembles the kernel for n iterations.
+func (w *Workload) ARMProgram(n int) (*arm.Program, error) {
+	p, err := arm.Assemble(w.ARMSource(n))
+	if err != nil {
+		return nil, fmt.Errorf("workload %s (arm): %w", w.Name, err)
+	}
+	return p, nil
+}
+
+// PPCSource returns the kernel's PowerPC assembly for n iterations.
+func (w *Workload) PPCSource(n int) string {
+	return fmt.Sprintf(w.ppcSrc, ppcLoadCount(3, n))
+}
+
+// PPCProgram assembles the kernel for n iterations.
+func (w *Workload) PPCProgram(n int) (*ppc.Program, error) {
+	p, err := ppc.Assemble(w.PPCSource(n))
+	if err != nil {
+		return nil, fmt.Errorf("workload %s (ppc): %w", w.Name, err)
+	}
+	return p, nil
+}
+
+// ppcLoadCount emits the li or lis/ori sequence that materializes v
+// in the given register.
+func ppcLoadCount(reg, v int) string {
+	if v >= -32768 && v <= 32767 {
+		return fmt.Sprintf("\tli r%d, %d\n", reg, v)
+	}
+	hi := int(int16(v >> 16))
+	lo := v & 0xffff
+	return fmt.Sprintf("\tlis r%d, %d\n\tori r%d, r%d, %d\n", reg, hi, reg, reg, lo)
+}

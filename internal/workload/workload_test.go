@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/iss"
+)
+
+// The central correctness check of the whole substrate: every kernel,
+// on both instruction sets, must reproduce its Go reference checksum
+// exactly. A mismatch implicates the assembler, the decoder, the
+// executor or the kernel itself.
+
+func runARM(t *testing.T, w *Workload, n int) uint32 {
+	t.Helper()
+	p, err := w.ARMProgram(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := iss.NewARM(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100_000_000); err != nil {
+		t.Fatalf("%s (arm, n=%d): %v", w.Name, n, err)
+	}
+	if len(s.Reported) != 1 {
+		t.Fatalf("%s (arm, n=%d): reported %v", w.Name, n, s.Reported)
+	}
+	return s.Reported[0]
+}
+
+func runPPC(t *testing.T, w *Workload, n int) uint32 {
+	t.Helper()
+	p, err := w.PPCProgram(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := iss.NewPPC(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100_000_000); err != nil {
+		t.Fatalf("%s (ppc, n=%d): %v", w.Name, n, err)
+	}
+	if len(s.Reported) != 1 {
+		t.Fatalf("%s (ppc, n=%d): reported %v", w.Name, n, s.Reported)
+	}
+	return s.Reported[0]
+}
+
+func TestKernelsMatchReferenceARM(t *testing.T) {
+	for _, w := range Mix() {
+		for _, n := range []int{1, 7, w.DefaultN} {
+			want := w.Ref(n)
+			if got := runARM(t, w, n); got != want {
+				t.Errorf("%s (arm, n=%d): checksum %#x, want %#x", w.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelsMatchReferencePPC(t *testing.T) {
+	for _, w := range Mix() {
+		for _, n := range []int{1, 7, w.DefaultN} {
+			want := w.Ref(n)
+			if got := runPPC(t, w, n); got != want {
+				t.Errorf("%s (ppc, n=%d): checksum %#x, want %#x", w.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestReferencesAreNontrivial(t *testing.T) {
+	// Distinct kernels must produce distinct checksums (guards
+	// against a kernel accidentally computing nothing).
+	seen := map[uint32]string{}
+	for _, w := range Mix() {
+		c := w.Ref(100)
+		if prev, dup := seen[c]; dup {
+			t.Errorf("%s and %s share checksum %#x", w.Name, prev, c)
+		}
+		seen[c] = w.Name
+		if c == 0 {
+			t.Errorf("%s checksum is zero", w.Name)
+		}
+		if w.Ref(10) == w.Ref(11) {
+			t.Errorf("%s checksum insensitive to n", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("gsm/enc") == nil || ByName("spec/crc") == nil || ByName("nope") != nil {
+		t.Fatal("ByName lookup wrong")
+	}
+	if len(All()) != 6 {
+		t.Fatalf("want the 6 Table-1 kernels, got %d", len(All()))
+	}
+	if len(Mix()) != 9 {
+		t.Fatalf("want the 9-kernel mix, got %d", len(Mix()))
+	}
+}
+
+func TestLargeCountUsesLisOri(t *testing.T) {
+	w := ByName("g721/dec")
+	want := w.Ref(70000)
+	if got := runARM(t, w, 70000); got != want {
+		t.Errorf("arm large-n checksum %#x, want %#x", got, want)
+	}
+	if got := runPPC(t, w, 70000); got != want {
+		t.Errorf("ppc large-n checksum %#x, want %#x", got, want)
+	}
+}
