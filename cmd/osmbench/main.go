@@ -12,38 +12,84 @@
 //	osmbench -validate       # PPC-750 timing validation (§5.2)
 //	osmbench -fig2           # reservation-station paths (Figure 2)
 //	osmbench -scale 4        # iteration-count multiplier
+//
+// Profiling the simulator hot path:
+//
+//	osmbench -speed ppc -cpuprofile ppc.prof
+//	go tool pprof ppc.prof
+//	osmbench -speed arm -memprofile arm.mprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the program body so profile-stopping defers execute
+// before the process exits.
+func run() int {
 	var (
-		table    = flag.Int("table", 0, "regenerate paper table 1 or 2")
-		speed    = flag.String("speed", "", "speed comparison: arm or ppc")
-		validate = flag.Bool("validate", false, "PPC-750 timing validation")
-		fig2     = flag.Bool("fig2", false, "reservation-station (Figure 2) comparison")
-		all      = flag.Bool("all", false, "run every experiment")
-		scale    = flag.Int("scale", experiments.DefaultScale, "workload iteration multiplier")
+		table      = flag.Int("table", 0, "regenerate paper table 1 or 2")
+		speed      = flag.String("speed", "", "speed comparison: arm or ppc")
+		validate   = flag.Bool("validate", false, "PPC-750 timing validation")
+		fig2       = flag.Bool("fig2", false, "reservation-station (Figure 2) comparison")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.Int("scale", experiments.DefaultScale, "workload iteration multiplier")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	ran := false
+	code := 0
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "osmbench:", err)
-		os.Exit(1)
+		code = 1
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+			return code
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+			return code
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	ran := false
 	if *all || *table == 1 {
 		ran = true
 		rows, err := experiments.Table1(*scale)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		experiments.Table1Table(rows).Fprint(os.Stdout)
 		fmt.Println()
@@ -53,6 +99,7 @@ func main() {
 		rows, baselines, err := experiments.Table2()
 		if err != nil {
 			fail(err)
+			return code
 		}
 		experiments.Table2Table(rows, baselines).Fprint(os.Stdout)
 		fmt.Println()
@@ -62,6 +109,7 @@ func main() {
 		rs, err := experiments.SpeedARM(*scale)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		experiments.SpeedTable("Simulation speed: StrongARM (paper §5.1: OSM 650k vs SimpleScalar 550k cyc/s)", rs).Fprint(os.Stdout)
 		fmt.Println()
@@ -71,6 +119,7 @@ func main() {
 		rs, err := experiments.SpeedPPC(*scale)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		experiments.SpeedTable("Simulation speed: PPC-750 (paper §5.2: OSM at 4x the SystemC model)", rs).Fprint(os.Stdout)
 		fmt.Println()
@@ -80,6 +129,7 @@ func main() {
 		rows, err := experiments.ValidatePPC(*scale)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		experiments.ValidateTable(rows).Fprint(os.Stdout)
 		fmt.Println()
@@ -89,12 +139,14 @@ func main() {
 		rows, err := experiments.Fig2(*scale)
 		if err != nil {
 			fail(err)
+			return code
 		}
 		experiments.Fig2Table(rows).Fprint(os.Stdout)
 		fmt.Println()
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return code
 }

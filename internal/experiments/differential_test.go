@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/osm"
+	"repro/internal/sim/ppc750"
+	"repro/internal/sim/strongarm"
+	"repro/internal/workload"
+)
+
+// These tests run the two case-study models under the reference scan
+// scheduler and the event-driven scheduler in lockstep and require
+// bit-identical behavior: the full transition trace, the cycle count,
+// and the final architectural state. They are the system-level
+// counterpart of the model-level equivalence tests in internal/osm —
+// if the event-driven director ever diverges from Figure 3 on a real
+// machine description, these fail with the first differing
+// transition.
+
+// diffRun captures everything observable about one simulation run.
+type diffRun struct {
+	events   []osm.Event
+	cycles   uint64
+	instrs   uint64
+	reported []uint32
+	regs     []uint32
+}
+
+func compareRuns(t *testing.T, label string, scan, event diffRun) {
+	t.Helper()
+	n := len(scan.events)
+	if len(event.events) < n {
+		n = len(event.events)
+	}
+	for i := 0; i < n; i++ {
+		if scan.events[i] != event.events[i] {
+			t.Fatalf("%s: traces diverge at transition %d:\n  scan:  %+v\n  event: %+v",
+				label, i, scan.events[i], event.events[i])
+		}
+	}
+	if len(scan.events) != len(event.events) {
+		t.Fatalf("%s: trace lengths differ: scan %d vs event %d", label, len(scan.events), len(event.events))
+	}
+	if scan.cycles != event.cycles || scan.instrs != event.instrs {
+		t.Fatalf("%s: totals differ: scan %d cycles/%d instrs vs event %d cycles/%d instrs",
+			label, scan.cycles, scan.instrs, event.cycles, event.instrs)
+	}
+	if len(scan.reported) != len(event.reported) {
+		t.Fatalf("%s: reported-value counts differ: %d vs %d", label, len(scan.reported), len(event.reported))
+	}
+	for i := range scan.reported {
+		if scan.reported[i] != event.reported[i] {
+			t.Fatalf("%s: reported value %d differs: %d vs %d", label, i, scan.reported[i], event.reported[i])
+		}
+	}
+	for i := range scan.regs {
+		if scan.regs[i] != event.regs[i] {
+			t.Fatalf("%s: final r%d differs: %#x vs %#x", label, i, scan.regs[i], event.regs[i])
+		}
+	}
+}
+
+func runARMDiff(t *testing.T, w *workload.Workload, n int, restart, scan bool) diffRun {
+	t.Helper()
+	p, err := w.ARMProgram(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := strongarm.New(p, strongarm.Config{Restart: restart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Director().Scan = scan
+	rec := osm.NewRecorder()
+	s.Director().Tracer = rec
+	st, err := s.Run(20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diffRun{
+		events:   rec.Events(),
+		cycles:   st.Cycles,
+		instrs:   st.Instrs,
+		reported: s.ISS.Reported,
+		regs:     s.ISS.CPU.R[:],
+	}
+}
+
+func runPPCDiff(t *testing.T, w *workload.Workload, n int, noRestart, scan bool) diffRun {
+	t.Helper()
+	p, err := w.PPCProgram(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ppc750.New(p, ppc750.Config{NoRestart: noRestart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Director().Scan = scan
+	rec := osm.NewRecorder()
+	s.Director().Tracer = rec
+	st, err := s.Run(20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diffRun{
+		events:   rec.Events(),
+		cycles:   st.Cycles,
+		instrs:   st.Instrs,
+		reported: s.ISS.Reported,
+		regs:     s.ISS.CPU.R[:],
+	}
+}
+
+// diffWorkloads returns two short but distinct workloads: a control-
+// heavy decoder loop and a shift/xor kernel.
+func diffWorkloads(t *testing.T) []struct {
+	w *workload.Workload
+	n int
+} {
+	t.Helper()
+	gsm := workload.ByName("gsm/dec")
+	crc := workload.ByName("spec/crc")
+	if gsm == nil || crc == nil {
+		t.Fatal("workload set is missing gsm/dec or spec/crc")
+	}
+	return []struct {
+		w *workload.Workload
+		n int
+	}{{gsm, 60}, {crc, 50}}
+}
+
+func TestDifferentialStrongARM(t *testing.T) {
+	for _, wl := range diffWorkloads(t) {
+		for _, restart := range []bool{false, true} {
+			scan := runARMDiff(t, wl.w, wl.n, restart, true)
+			event := runARMDiff(t, wl.w, wl.n, restart, false)
+			if len(scan.events) == 0 {
+				t.Fatalf("%s: reference run recorded no transitions", wl.w.Name)
+			}
+			label := wl.w.Name
+			if restart {
+				label += "/restart"
+			}
+			compareRuns(t, label, scan, event)
+		}
+	}
+}
+
+func TestDifferentialPPC750(t *testing.T) {
+	for _, wl := range diffWorkloads(t) {
+		for _, noRestart := range []bool{false, true} {
+			scan := runPPCDiff(t, wl.w, wl.n, noRestart, true)
+			event := runPPCDiff(t, wl.w, wl.n, noRestart, false)
+			if len(scan.events) == 0 {
+				t.Fatalf("%s: reference run recorded no transitions", wl.w.Name)
+			}
+			label := wl.w.Name
+			if noRestart {
+				label += "/norestart"
+			}
+			compareRuns(t, label, scan, event)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation slows simulation by an order of
+// magnitude; absolute-speed assertions skip themselves under it.
+const raceEnabled = true

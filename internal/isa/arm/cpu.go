@@ -86,15 +86,24 @@ func (c *CPU) Step() (Instr, error) {
 	if err != nil {
 		return ins, fmt.Errorf("arm: at %#x: %w", pc, err)
 	}
+	return ins, c.StepDecoded(ins)
+}
+
+// StepDecoded executes one already-decoded instruction as the
+// instruction at the current PC. Callers (the iss package's decode
+// cache) are responsible for ins being the decode of the word at the
+// PC; the halted and alignment checks of Step still apply.
+func (c *CPU) StepDecoded(ins Instr) error {
+	pc := c.R[PC]
 	branched, err := c.Exec(ins)
 	if err != nil {
-		return ins, fmt.Errorf("arm: at %#x: %w", pc, err)
+		return fmt.Errorf("arm: at %#x: %w", pc, err)
 	}
 	if !branched {
 		c.R[PC] = pc + 4
 	}
 	c.Executed++
-	return ins, nil
+	return nil
 }
 
 // Run steps until the CPU halts or limit instructions have executed;

@@ -83,12 +83,21 @@ func (c *CPU) Step() (Instr, error) {
 	if err != nil {
 		return ins, fmt.Errorf("ppc: at %#x: %w", pc, err)
 	}
+	return ins, c.StepDecoded(ins)
+}
+
+// StepDecoded executes one already-decoded instruction as the
+// instruction at NextPC. Callers (the iss package's decode cache) are
+// responsible for ins being the decode of the word at NextPC; the
+// halted and alignment checks of Step still apply.
+func (c *CPU) StepDecoded(ins Instr) error {
+	pc := c.NextPC
 	c.NextPC = pc + 4
 	if err := c.Exec(ins, pc); err != nil {
-		return ins, fmt.Errorf("ppc: at %#x: %w", pc, err)
+		return fmt.Errorf("ppc: at %#x: %w", pc, err)
 	}
 	c.Executed++
-	return ins, nil
+	return nil
 }
 
 // Run steps until the CPU halts or limit instructions have executed.

@@ -1,0 +1,46 @@
+package iss
+
+// decodeCache is a direct-mapped cache of decoded instructions,
+// indexed by instruction-word address. Workload inner loops re-visit
+// the same addresses millions of times; caching the decode removes
+// the field-extraction work from the per-instruction hot path of both
+// functional and micro-architecture simulation.
+//
+// A line is valid only for the exact (address, raw word) pair it was
+// filled with, so self-modifying code — or a reloaded RAM image —
+// never serves a stale decode: a changed word simply misses and is
+// decoded afresh.
+type decodeCache[I any] struct {
+	lines []decodeLine[I]
+}
+
+type decodeLine[I any] struct {
+	pc    uint32
+	word  uint32
+	valid bool
+	ins   I
+}
+
+// decodeCacheLines is the line count; direct mapping uses the word
+// index modulo this. 4096 lines cover a 16 KiB program completely.
+const decodeCacheLines = 1 << 12
+
+func (c *decodeCache[I]) lookup(pc, word uint32) (I, bool) {
+	if c.lines == nil {
+		var zero I
+		return zero, false
+	}
+	ln := &c.lines[(pc>>2)&(decodeCacheLines-1)]
+	if ln.valid && ln.pc == pc && ln.word == word {
+		return ln.ins, true
+	}
+	var zero I
+	return zero, false
+}
+
+func (c *decodeCache[I]) insert(pc, word uint32, ins I) {
+	if c.lines == nil {
+		c.lines = make([]decodeLine[I], decodeCacheLines)
+	}
+	c.lines[(pc>>2)&(decodeCacheLines-1)] = decodeLine[I]{pc: pc, word: word, valid: true, ins: ins}
+}

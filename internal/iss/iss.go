@@ -57,6 +57,8 @@ type ARM struct {
 	Trace func(pc uint32, ins arm.Instr)
 	// Stats counts events.
 	Stats Stats
+
+	dcache decodeCache[arm.Instr]
 }
 
 // NewARM builds an ARM ISS for the program with ramKB kibibytes of
@@ -101,11 +103,29 @@ func (s *ARM) swi(c *arm.CPU, num uint32) error {
 	return nil
 }
 
-// Step executes one instruction, updating statistics.
+// Step executes one instruction, updating statistics. Decodes are
+// served from a direct-mapped cache validated against the raw
+// instruction word (see decodeCache).
 func (s *ARM) Step() (arm.Instr, error) {
-	pc := s.CPU.PC()
-	ins, err := s.CPU.Step()
-	if err != nil {
+	c := s.CPU
+	if c.Halted {
+		return arm.Instr{}, fmt.Errorf("arm: step on halted CPU")
+	}
+	pc := c.PC()
+	if pc%4 != 0 {
+		return arm.Instr{}, fmt.Errorf("arm: unaligned PC %#x", pc)
+	}
+	word := c.Mem.Read32(pc)
+	ins, hit := s.dcache.lookup(pc, word)
+	if !hit {
+		var err error
+		ins, err = arm.Decode(word)
+		if err != nil {
+			return ins, fmt.Errorf("arm: at %#x: %w", pc, err)
+		}
+		s.dcache.insert(pc, word, ins)
+	}
+	if err := c.StepDecoded(ins); err != nil {
 		return ins, err
 	}
 	if s.Trace != nil {
@@ -157,6 +177,8 @@ type PPC struct {
 	Trace func(pc uint32, ins ppc.Instr)
 	// Stats counts events.
 	Stats Stats
+
+	dcache decodeCache[ppc.Instr]
 }
 
 // NewPPC builds a PowerPC ISS for the program with ramKB kibibytes of
@@ -201,11 +223,29 @@ func (s *PPC) sc(c *ppc.CPU) error {
 	return nil
 }
 
-// Step executes one instruction, updating statistics.
+// Step executes one instruction, updating statistics. Decodes are
+// served from a direct-mapped cache validated against the raw
+// instruction word (see decodeCache).
 func (s *PPC) Step() (ppc.Instr, error) {
-	pc := s.CPU.NextPC
-	ins, err := s.CPU.Step()
-	if err != nil {
+	c := s.CPU
+	if c.Halted {
+		return ppc.Instr{}, fmt.Errorf("ppc: step on halted CPU")
+	}
+	pc := c.NextPC
+	if pc%4 != 0 {
+		return ppc.Instr{}, fmt.Errorf("ppc: unaligned PC %#x", pc)
+	}
+	word := c.Mem.Read32(pc)
+	ins, hit := s.dcache.lookup(pc, word)
+	if !hit {
+		var err error
+		ins, err = ppc.Decode(word)
+		if err != nil {
+			return ins, fmt.Errorf("ppc: at %#x: %w", pc, err)
+		}
+		s.dcache.insert(pc, word, ins)
+	}
+	if err := c.StepDecoded(ins); err != nil {
 		return ins, err
 	}
 	if s.Trace != nil {

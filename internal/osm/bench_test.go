@@ -4,10 +4,15 @@ import "testing"
 
 // Micro-benchmarks of the scheduling core, for tracking the cost of
 // the director machinery itself (the efficiency discussion in
-// EXPERIMENTS.md).
+// EXPERIMENTS.md). Each model is benchmarked under the default
+// event-driven scheduler and under the reference Figure 3 scan
+// (Director.Scan), so the scheduling overhead of each shows up
+// side by side.
 
-func BenchmarkDirectorStepPipeline(b *testing.B) {
-	// A saturated 5-stage ring: 6 machines, ~6 transitions per step.
+// benchPipeline builds a saturated 5-stage ring: 6 machines, ~6
+// transitions per step. Saturation is the event scheduler's worst
+// case — everything is ready every step.
+func benchPipeline() *Director {
 	stages := make([]*UnitManager, 5)
 	states := make([]*State, 6)
 	states[0] = NewState("I")
@@ -28,16 +33,14 @@ func BenchmarkDirectorStepPipeline(b *testing.B) {
 	for k := 0; k < 6; k++ {
 		d.AddMachine(NewMachine("m", states[0]))
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := d.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	return d
 }
 
-func BenchmarkDirectorStepIdle(b *testing.B) {
-	// All machines blocked: the cost of a step that moves nothing.
+// benchIdle builds a fully blocked population: the cost of a step
+// that moves nothing. The event scheduler suspends every machine on
+// the wedged unit's wait list, so steps cost O(1); the scan
+// re-evaluates all 8 machines.
+func benchIdle() *Director {
 	u := NewUnitManager("u", 1)
 	i, s := NewState("I"), NewState("S")
 	i.Connect("go", s, Alloc(u, 0))
@@ -48,13 +51,53 @@ func BenchmarkDirectorStepIdle(b *testing.B) {
 	for k := 0; k < 8; k++ {
 		d.AddMachine(NewMachine("m", i))
 	}
-	d.Step() // one machine takes the unit and wedges on the busy gate
+	d.Step() // settle: every machine blocks on the busy gate
+	return d
+}
+
+func benchSteps(b *testing.B, d *Director) {
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := d.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkDirectorStepPipeline(b *testing.B) {
+	benchSteps(b, benchPipeline())
+}
+
+func BenchmarkDirectorStepPipelineScan(b *testing.B) {
+	d := benchPipeline()
+	d.Scan = true
+	benchSteps(b, d)
+}
+
+// BenchmarkDirectorStepEventDriven is the explicit-name alias for the
+// default scheduler on the saturated ring, for benchstat runs that
+// compare the two schedulers by name.
+func BenchmarkDirectorStepEventDriven(b *testing.B) {
+	d := benchPipeline()
+	d.Scan = false
+	benchSteps(b, d)
+}
+
+func BenchmarkDirectorStepIdle(b *testing.B) {
+	benchSteps(b, benchIdle())
+}
+
+func BenchmarkDirectorStepIdleScan(b *testing.B) {
+	d := benchIdle()
+	d.Scan = true
+	benchSteps(b, d)
+}
+
+func BenchmarkDirectorStepEventDrivenIdle(b *testing.B) {
+	d := benchIdle()
+	d.Scan = false
+	benchSteps(b, d)
 }
 
 func BenchmarkTryEdgeConjunction(b *testing.B) {
@@ -68,6 +111,7 @@ func BenchmarkTryEdgeConjunction(b *testing.B) {
 	d := NewDirector()
 	d.AddManager(u1, u2, rf)
 	d.AddMachine(NewMachine("m", i))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := d.Step(); err != nil {

@@ -52,7 +52,13 @@ func (b *BypassManager) Publish(reg int, val uint64, life uint64) {
 		life = 1
 	}
 	b.entries[reg] = bypassEntry{val: val, until: b.step + life}
+	b.Wake()
 }
+
+// SleepSafeManager reports that machines blocked on the manager may be
+// suspended (SleepSafe): inquiries only turn true through Publish,
+// which wakes; expiry at BeginStep can only turn them false.
+func (b *BypassManager) SleepSafeManager() bool { return true }
 
 // Read returns the forwarded value of register reg. The second result
 // reports whether a live value is present.

@@ -78,6 +78,17 @@ type Director struct {
 	// pipeline); the director aborts with ErrDeadlock when one is
 	// found.
 	CheckDeadlock bool
+	// Scan selects the reference scan scheduler, which re-ranks and
+	// re-evaluates every machine each control step exactly as written
+	// in the paper's Figure 3. The default is the event-driven
+	// scheduler (director_event.go), which produces the identical
+	// transition schedule — the differential tests in
+	// internal/experiments check this trace-for-trace — while skipping
+	// machines whose blocking resources did not change. The
+	// event-driven scheduler requires the default age-based ranking;
+	// installing a custom Rank falls back to the scan scheduler
+	// automatically. Choose the scheduler before the first Step.
+	Scan bool
 
 	machines []*Machine
 	managers []TokenManager
@@ -86,6 +97,8 @@ type Director struct {
 	nextAge  uint64
 	// scratch reused across steps to avoid per-step allocation.
 	list []*Machine
+	// ev is the event-driven scheduler's state (director_event.go).
+	ev eventSched
 }
 
 // NewDirector returns an empty director with default (age-based)
@@ -96,6 +109,7 @@ func NewDirector() *Director { return &Director{} }
 // order breaks ranking ties, so it must be deterministic.
 func (d *Director) AddMachine(ms ...*Machine) {
 	d.machines = append(d.machines, ms...)
+	d.ev.init = false
 }
 
 // AddManager registers a token manager. Managers implementing Stepper
@@ -108,6 +122,7 @@ func (d *Director) AddManager(ms ...TokenManager) {
 			d.steppers = append(d.steppers, s)
 		}
 	}
+	d.ev.init = false
 }
 
 // Machines returns the registered machines in registration order.
@@ -124,7 +139,55 @@ func (d *Director) StepCount() uint64 { return d.step }
 // transition, per the paper's Figure 3. It returns ErrDeadlock (via
 // errors.Is) if deadlock checking is enabled and a cyclic resource
 // wait is detected.
+//
+// Two scheduler implementations produce this schedule: the reference
+// scan (Figure 3 verbatim) and the default event-driven scheduler,
+// which skips machines whose blocking resources did not change. See
+// the Scan field.
 func (d *Director) Step() error {
+	if d.Scan || d.Rank != nil {
+		return d.stepScan()
+	}
+	return d.stepEvent()
+}
+
+// serveMachine evaluates m's outgoing edges in priority order and
+// commits the first satisfied one, maintaining ages and the tracer.
+// Both schedulers serve machines through it. The second result is the
+// committed edge. On failure it leaves the failed primitives of the
+// final pass in m.blocked and records in m.sched.untracked whether
+// any edge failed outside the token protocol (a When predicate).
+func (d *Director) serveMachine(m *Machine) (bool, *Edge, error) {
+	wasInitial := m.InInitial()
+	m.blocked = m.blocked[:0] // keep only this pass's failures
+	m.sched.untracked = false
+	for _, e := range m.cur.Out {
+		before := len(m.blocked)
+		ok, err := m.tryEdge(e)
+		if err != nil {
+			return false, nil, fmt.Errorf("osm: step %d: %w", d.step, err)
+		}
+		if !ok {
+			if len(m.blocked) == before {
+				m.sched.untracked = true
+			}
+			continue
+		}
+		if wasInitial && !m.InInitial() {
+			d.nextAge++
+			m.Age = d.nextAge
+		}
+		if d.Tracer != nil {
+			d.Tracer.Transition(d.step, m, e)
+		}
+		return true, e, nil
+	}
+	return false, nil, nil
+}
+
+// stepScan is the reference scheduler: the paper's Figure 3, executed
+// over the full machine population every control step.
+func (d *Director) stepScan() error {
 	for _, s := range d.steppers {
 		s.BeginStep(d.step)
 	}
@@ -144,44 +207,27 @@ func (d *Director) Step() error {
 		}
 	}
 
-	for _, m := range d.list {
-		m.blocked = m.blocked[:0]
-	}
-
 	list := d.list
 	progressed := false
 	i := 0
 	for i < len(list) {
 		m := list[i]
-		moved := false
-		var moveEdge *Edge
-		wasInitial := m.InInitial()
-		m.blocked = m.blocked[:0] // keep only the final pass's failures
-		for _, e := range m.cur.Out {
-			ok, err := m.tryEdge(e)
-			if err != nil {
-				return fmt.Errorf("osm: step %d: %w", d.step, err)
-			}
-			if !ok {
-				continue
-			}
-			moved, progressed = true, true
-			moveEdge = e
-			if wasInitial && !m.InInitial() {
-				d.nextAge++
-				m.Age = d.nextAge
-			}
-			if d.Tracer != nil {
-				d.Tracer.Transition(d.step, m, e)
-			}
-			break
+		if m == nil { // already transitioned this step
+			i++
+			continue
+		}
+		moved, moveEdge, err := d.serveMachine(m)
+		if err != nil {
+			return err
 		}
 		if moved {
-			// Remove m so it is not scheduled again this step.
-			list = append(list[:i], list[i+1:]...)
+			progressed = true
+			// Mark m served so it is not scheduled again this step.
+			// Index marking keeps removal O(1) where a slice shift
+			// would be O(n) on every transition.
+			list[i] = nil
 			if d.NoRestart || (d.RestartPolicy != nil && !d.RestartPolicy(m, moveEdge)) {
-				// Continue the scan at the machine that now occupies
-				// index i.
+				i++
 				continue
 			}
 			// Restart from the remaining machine with the highest
@@ -195,18 +241,25 @@ func (d *Director) Step() error {
 	d.list = list[:0]
 
 	if !progressed && d.CheckDeadlock {
-		if cyc := d.findWaitCycle(); cyc != nil {
-			if d.OnDeadlock != nil {
-				if err := d.OnDeadlock(cyc); err != nil {
-					return err
-				}
-			} else {
-				return fmt.Errorf("%w: %s", ErrDeadlock, cycleString(cyc))
-			}
+		if err := d.deadlockCheck(); err != nil {
+			return err
 		}
 	}
 	d.step++
 	return nil
+}
+
+// deadlockCheck runs wait-for-cycle detection after a step in which no
+// machine could move.
+func (d *Director) deadlockCheck() error {
+	cyc := d.findWaitCycle()
+	if cyc == nil {
+		return nil
+	}
+	if d.OnDeadlock != nil {
+		return d.OnDeadlock(cyc)
+	}
+	return fmt.Errorf("%w: %s", ErrDeadlock, cycleString(cyc))
 }
 
 // Run executes control steps until done returns true or an error
@@ -230,4 +283,5 @@ func (d *Director) Reset() {
 	}
 	d.step = 0
 	d.nextAge = 0
+	d.ev.init = false
 }

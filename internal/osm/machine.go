@@ -39,6 +39,14 @@ type Edge struct {
 	// semantics execute: reading granted operand values, computing
 	// results, attaching results to tokens about to be released.
 	Action func(m *Machine)
+
+	// Wake-set cache owned by the event-driven scheduler
+	// (director_event.go): the registered managers a commit of this
+	// edge mutates, valid for one director and scheduler epoch.
+	wakeDir   *Director
+	wakeEpoch uint64
+	wakeMgrs  []int
+	wakeAll   bool
 }
 
 // Connect appends an edge from s to to with the given guard primitives
@@ -81,6 +89,39 @@ type Machine struct {
 	// pend is scratch space for edge evaluation, reused across
 	// attempts to keep the director allocation-free in steady state.
 	pend []pendingTxn
+	// sched is scheduling state owned by the event-driven director
+	// (director_event.go). A machine is scheduled by one director.
+	sched machineSched
+	// idMemo caches identifier-function results for the current
+	// operation binding; it is cleared on every transition.
+	idMemo []primMemo
+}
+
+// primMemo is one memoized identifier resolution. Primitives are
+// interned per edge, so the pointer identifies the call site.
+type primMemo struct {
+	p  *Primitive
+	id TokenID
+}
+
+// primID resolves the identifier a primitive presents for m. Results
+// of identifier functions are memoized from their first resolution
+// until the machine's next transition: identifiers are initialized
+// when an operation binds to the machine (the paper's decode-time
+// identifier assignment), so they may depend on the operation context
+// but not on state that changes while the machine is blocked.
+func (m *Machine) primID(p *Primitive) TokenID {
+	if p.ID == nil {
+		return p.FixedID
+	}
+	for i := range m.idMemo {
+		if m.idMemo[i].p == p {
+			return m.idMemo[i].id
+		}
+	}
+	id := p.ID(m)
+	m.idMemo = append(m.idMemo, primMemo{p: p, id: id})
+	return id
 }
 
 // NewMachine returns a machine resting in the given initial state.
@@ -180,7 +221,7 @@ func (m *Machine) tryEdge(e *Edge) (bool, error) {
 		p := &e.Prims[pi]
 		switch p.Op {
 		case OpAllocate:
-			tok, ok := p.Mgr.Allocate(m, p.id(m))
+			tok, ok := p.Mgr.Allocate(m, m.primID(p))
 			if !ok {
 				cancel()
 				m.blocked = append(m.blocked, p)
@@ -188,14 +229,14 @@ func (m *Machine) tryEdge(e *Edge) (bool, error) {
 			}
 			pend = append(pend, pendingTxn{prim: p, tok: tok})
 		case OpInquire:
-			if !p.Mgr.Inquire(m, p.id(m)) {
+			if !p.Mgr.Inquire(m, m.primID(p)) {
 				cancel()
 				m.blocked = append(m.blocked, p)
 				return false, nil
 			}
 			pend = append(pend, pendingTxn{prim: p})
 		case OpRelease:
-			id := p.id(m)
+			id := m.primID(p)
 			tok, held := m.HeldToken(p.Mgr, id)
 			if !held {
 				cancel()
@@ -233,6 +274,7 @@ func (m *Machine) tryEdge(e *Edge) (bool, error) {
 		}
 	}
 	m.pend = pend[:0]
+	m.idMemo = m.idMemo[:0] // next state is a fresh resolution epoch
 	if e.Action != nil {
 		e.Action(m)
 	}
@@ -264,7 +306,7 @@ func (m *Machine) commitDiscard(p *Primitive) {
 		m.tokens = kept
 		return
 	}
-	if tok, ok := m.removeToken(p.Mgr, p.id(m)); ok {
+	if tok, ok := m.removeToken(p.Mgr, m.primID(p)); ok {
 		p.Mgr.Discarded(m, tok)
 	}
 }
@@ -283,6 +325,7 @@ func (m *Machine) Reset() {
 	m.Ctx = nil
 	m.Age = 0
 	m.blocked = nil
+	m.idMemo = nil
 }
 
 // Blocked returns the primitives that failed for this machine during

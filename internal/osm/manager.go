@@ -60,6 +60,38 @@ type Stepper interface {
 	BeginStep(cycle uint64)
 }
 
+// WakeNotifier is implemented by managers that accept a
+// change-notification hook. The event-driven director (see
+// director_event.go) installs a function that re-queues every machine
+// suspended on the manager; the manager calls it — via
+// BaseManager.Wake — whenever its state changes in a way that could
+// turn a previously refused request into a granted one, other than
+// through a committed token transaction (which the director observes
+// by itself). Typical call sites are time-based state crossings in
+// BeginStep (a busy window expiring) and model-level mutators such as
+// ResetManager.Mark or BypassManager.Publish.
+type WakeNotifier interface {
+	// SetWake installs the notification hook. A nil hook disables
+	// notification. A manager serves at most one event-driven
+	// director at a time; a later SetWake replaces the hook.
+	SetWake(func())
+}
+
+// SleepSafe is implemented by managers that uphold the wake contract:
+// every state change that can unblock a refused Allocate, Inquire or
+// Release is either a committed token transaction or is announced
+// through the hook installed with SetWake. Machines blocked only on
+// sleep-safe managers may be suspended until a wake arrives; machines
+// blocked on any other manager are re-evaluated every control step,
+// which is always correct but forgoes the event-driven savings.
+//
+// SleepSafeManager may answer false conditionally: the built-in
+// managers do so when a model installed an opaque gate predicate
+// (AllocGate, ReleaseGate) whose inputs the manager cannot track.
+type SleepSafe interface {
+	SleepSafeManager() bool
+}
+
 // HolderReporter is implemented by managers that can report which
 // machine currently owns a unit. The deadlock detector uses it to
 // build the wait-for graph of the paper's Section 3.4.
@@ -77,10 +109,25 @@ type HolderReporter interface {
 type BaseManager struct {
 	// ManagerName is returned by Name.
 	ManagerName string
+
+	wake func()
 }
 
 // Name returns the manager's name.
 func (b *BaseManager) Name() string { return b.ManagerName }
+
+// SetWake installs the director's change-notification hook
+// (WakeNotifier).
+func (b *BaseManager) SetWake(f func()) { b.wake = f }
+
+// Wake invokes the installed change-notification hook, re-queuing any
+// machines suspended on the manager. Safe to call when no hook is
+// installed.
+func (b *BaseManager) Wake() {
+	if b.wake != nil {
+		b.wake()
+	}
+}
 
 // CancelAllocate is a no-op.
 func (b *BaseManager) CancelAllocate(m *Machine, t Token) {}

@@ -61,5 +61,15 @@ func (p *PoolManager) Release(m *Machine, t Token) bool {
 // CancelRelease re-takes the tentatively returned token.
 func (p *PoolManager) CancelRelease(m *Machine, t Token) { p.free-- }
 
-// Discarded reclaims a granted token unconditionally.
-func (p *PoolManager) Discarded(m *Machine, t Token) { p.free++ }
+// Discarded reclaims a granted token unconditionally. It wakes
+// waiters itself because Machine.Reset discards outside any edge
+// commit.
+func (p *PoolManager) Discarded(m *Machine, t Token) {
+	p.free++
+	p.Wake()
+}
+
+// SleepSafeManager reports whether machines blocked on the manager may
+// be suspended (SleepSafe): only while no opaque allocation gate is
+// installed.
+func (p *PoolManager) SleepSafeManager() bool { return p.AllocGate == nil }

@@ -111,9 +111,16 @@ func (q *QueueManager) CancelRelease(m *Machine, t Token) {
 	q.n++
 }
 
+// SleepSafeManager reports whether machines blocked on the manager may
+// be suspended (SleepSafe): only while no opaque release gate is
+// installed.
+func (q *QueueManager) SleepSafeManager() bool { return q.ReleaseGate == nil }
+
 // Discarded removes a squashed operation's entry from anywhere in the
-// queue.
+// queue. It wakes waiters itself because Machine.Reset discards
+// outside any edge commit.
 func (q *QueueManager) Discarded(m *Machine, t Token) {
+	defer q.Wake()
 	for i := 0; i < q.n; i++ {
 		if q.at(i).id == t.ID {
 			// Shift the tail down one slot.

@@ -57,7 +57,15 @@ func (r *RegFileManager) Read(reg int) uint64 { return r.vals[reg] }
 // Write sets the architected value of register reg directly,
 // bypassing the token protocol. It is intended for initialization and
 // for the functional (instruction-set) simulation layer.
-func (r *RegFileManager) Write(reg int, v uint64) { r.vals[reg] = v }
+func (r *RegFileManager) Write(reg int, v uint64) {
+	r.vals[reg] = v
+	r.Wake()
+}
+
+// SleepSafeManager reports that machines blocked on the manager may be
+// suspended (SleepSafe): availability only changes through the token
+// protocol and Write, which wakes.
+func (r *RegFileManager) SleepSafeManager() bool { return true }
 
 // Pending returns the number of outstanding updates of register reg.
 func (r *RegFileManager) Pending(reg int) int { return r.pending[reg] }
@@ -144,6 +152,8 @@ func (r *RegFileManager) Discarded(m *Machine, t Token) {
 		return
 	}
 	r.retire(m, reg)
+	// Machine.Reset discards outside any edge commit; wake waiters.
+	r.Wake()
 }
 
 func (r *RegFileManager) retire(m *Machine, reg int) {

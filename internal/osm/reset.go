@@ -23,7 +23,17 @@ func NewResetManager(name string) *ResetManager {
 }
 
 // Mark flags a machine as squashed; its next inquiry succeeds.
-func (r *ResetManager) Mark(m *Machine) { r.marked[m] = true }
+// Marking turns dormant reset edges live, so it wakes any suspended
+// waiters.
+func (r *ResetManager) Mark(m *Machine) {
+	r.marked[m] = true
+	r.Wake()
+}
+
+// SleepSafeManager reports that machines blocked on the manager may be
+// suspended (SleepSafe): inquiries only turn true through Mark, which
+// wakes.
+func (r *ResetManager) SleepSafeManager() bool { return true }
 
 // Unmark clears a machine's squash flag. Reset edges call it from
 // their Action so the recycled machine is admitted normally when it

@@ -88,6 +88,13 @@ type Primitive struct {
 	ID IDFunc
 	// FixedID is the identifier used when ID is nil.
 	FixedID TokenID
+
+	// Manager-index cache owned by the event-driven scheduler
+	// (director_event.go), valid for one director and scheduler
+	// epoch; -1 records an unregistered manager.
+	schedDir   *Director
+	schedEpoch uint64
+	schedIdx   int
 }
 
 func (p Primitive) String() string {

@@ -84,8 +84,25 @@ func (u *UnitManager) Busy(unit TokenID) uint64 {
 	return 0
 }
 
-// BeginStep records the current control step (Stepper).
-func (u *UnitManager) BeginStep(cycle uint64) { u.step = cycle }
+// BeginStep records the current control step (Stepper). When a unit's
+// busy window expires at this step, previously refused releases can
+// now succeed, so the manager wakes its waiters.
+func (u *UnitManager) BeginStep(cycle uint64) {
+	u.step = cycle
+	for _, until := range u.busyUntil {
+		if until == cycle {
+			u.Wake()
+			break
+		}
+	}
+}
+
+// SleepSafeManager reports whether machines blocked on the manager may
+// be suspended (SleepSafe): only while no opaque gate predicate is
+// installed, since the manager cannot observe a gate's inputs.
+func (u *UnitManager) SleepSafeManager() bool {
+	return u.AllocGate == nil && u.ReleaseGate == nil
+}
 
 func (u *UnitManager) pick(m *Machine, id TokenID) (TokenID, bool) {
 	if id == AnyUnit {
@@ -154,8 +171,10 @@ func (u *UnitManager) Release(m *Machine, t Token) bool {
 // CancelRelease restores m's ownership of the unit.
 func (u *UnitManager) CancelRelease(m *Machine, t Token) { u.owner[t.ID] = m }
 
-// Discarded reclaims the unit unconditionally.
+// Discarded reclaims the unit unconditionally. It wakes waiters
+// itself because Machine.Reset discards outside any edge commit.
 func (u *UnitManager) Discarded(m *Machine, t Token) {
 	u.owner[t.ID] = nil
 	u.busyUntil[t.ID] = 0
+	u.Wake()
 }

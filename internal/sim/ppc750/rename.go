@@ -76,7 +76,11 @@ func trackedDsts(ins *ppc.Instr) (out []int, gprs int) {
 type renamer struct {
 	osm.BaseManager
 	cycle      uint64
-	lastWriter [numIdx]*op
+	// resultTimes holds the not-yet-reached result times of in-flight
+	// operations; when one is reached at BeginStep, readiness
+	// inquiries that previously failed can now succeed.
+	resultTimes []uint64
+	lastWriter  [numIdx]*op
 	// Rename-buffer pool for GPR destinations.
 	bufCap, bufUsed int
 	undo            map[*osm.Machine][]undoEntry
@@ -95,8 +99,34 @@ func newRenamer(renameBuffers int) *renamer {
 	}
 }
 
-// BeginStep tracks the current control step (osm.Stepper).
-func (r *renamer) BeginStep(cycle uint64) { r.cycle = cycle }
+// BeginStep tracks the current control step (osm.Stepper) and wakes
+// waiters when an in-flight result reaches the buses this cycle.
+func (r *renamer) BeginStep(cycle uint64) {
+	r.cycle = cycle
+	wake := false
+	kept := r.resultTimes[:0]
+	for _, at := range r.resultTimes {
+		if at <= cycle {
+			wake = true
+			continue
+		}
+		kept = append(kept, at)
+	}
+	r.resultTimes = kept
+	if wake {
+		r.Wake()
+	}
+}
+
+// noteResult records the cycle at which an issued operation's result
+// appears on the result buses, scheduling a wake for that step.
+func (r *renamer) noteResult(at uint64) { r.resultTimes = append(r.resultTimes, at) }
+
+// SleepSafeManager reports that machines blocked on the manager may be
+// suspended (osm.SleepSafe): every availability change is either a
+// committed transaction or a result-time crossing announced by
+// BeginStep.
+func (r *renamer) SleepSafeManager() bool { return true }
 
 func (r *renamer) srcReady(idx int) bool {
 	w := r.lastWriter[idx]
@@ -204,4 +234,7 @@ func (r *renamer) Discarded(m *osm.Machine, t osm.Token) {
 		}
 	}
 	delete(r.undo, m)
+	// A squashed writer disappearing can make sources ready; Discarded
+	// is also reachable outside edge commits via Machine.Reset.
+	r.Wake()
 }

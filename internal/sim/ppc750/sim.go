@@ -157,8 +157,15 @@ func newRatedQueue(name string, depth, perCycle int) *ratedQueue {
 	return &ratedQueue{QueueManager: osm.NewQueueManager(name, depth), max: perCycle}
 }
 
-// BeginStep resets the per-cycle release budget (osm.Stepper).
-func (q *ratedQueue) BeginStep(cycle uint64) { q.n = 0 }
+// BeginStep resets the per-cycle release budget (osm.Stepper). When
+// the budget was exhausted, refused releases can now succeed, so the
+// manager wakes its waiters.
+func (q *ratedQueue) BeginStep(cycle uint64) {
+	if q.n >= q.max {
+		q.Wake()
+	}
+	q.n = 0
+}
 
 // Allocate re-tags the grant so the token routes back through the
 // rate-limiting wrapper rather than the embedded queue.
@@ -590,6 +597,7 @@ func (s *Sim) enterExec(m *osm.Machine, u *unit) {
 		u.fu.SetBusy(0, lat-1)
 	}
 	o.resultAt = cycle + lat
+	s.ren.noteResult(o.resultAt)
 	if o.class == ppc.ClassBranch {
 		s.resolveBranch(o, cycle)
 	}

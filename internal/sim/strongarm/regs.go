@@ -59,8 +59,24 @@ func newRegFile() *regFile {
 	}
 }
 
-// BeginStep tracks the current control step (osm.Stepper).
-func (r *regFile) BeginStep(cycle uint64) { r.cycle = cycle }
+// BeginStep tracks the current control step (osm.Stepper) and wakes
+// waiters when a forwarding-network availability time is reached this
+// cycle: sources that previously inquired unavailable can now issue.
+func (r *regFile) BeginStep(cycle uint64) {
+	r.cycle = cycle
+	for i, at := range r.readyAt {
+		if r.pending[i] > 0 && at == cycle {
+			r.Wake()
+			break
+		}
+	}
+}
+
+// SleepSafeManager reports that machines blocked on the manager may be
+// suspended (osm.SleepSafe): every availability change is either a
+// committed transaction or a forwarding-time crossing announced by
+// BeginStep.
+func (r *regFile) SleepSafeManager() bool { return true }
 
 // trackedDsts lists the scoreboard indices an operation updates.
 func trackedDsts(ins *arm.Instr) []int {
@@ -137,8 +153,13 @@ func (r *regFile) Release(m *osm.Machine, t osm.Token) bool { return true }
 // CommitRelease retires the machine's outstanding updates.
 func (r *regFile) CommitRelease(m *osm.Machine, t osm.Token) { r.retire(m) }
 
-// Discarded retires the updates of a squashed machine.
-func (r *regFile) Discarded(m *osm.Machine, t osm.Token) { r.retire(m) }
+// Discarded retires the updates of a squashed machine. It wakes
+// waiters itself because Machine.Reset discards outside any edge
+// commit.
+func (r *regFile) Discarded(m *osm.Machine, t osm.Token) {
+	r.retire(m)
+	r.Wake()
+}
 
 func (r *regFile) retire(m *osm.Machine) {
 	for _, d := range r.writers[m] {
