@@ -1,0 +1,134 @@
+// Osmbatch runs a set of simulation jobs across a worker pool with
+// periodic checkpoints, per-job deadlines and panic isolation, and
+// writes a JSON results manifest. A killed or crashed batch is
+// restarted with the same -checkpoint-dir and resumes each unfinished
+// job from its last checkpoint.
+//
+// Usage:
+//
+//	osmbatch -mix -workers 4 -out results.json
+//	osmbatch -jobs jobs.json -checkpoint-dir ckpt -checkpoint-every 100000
+//	osmbatch -mix -n 60 -scheduler scan -deadline 2m
+//
+// The -jobs file is a JSON array of job objects:
+//
+//	[{"arch": "arm", "workload": "gsm/dec", "n": 500},
+//	 {"arch": "ppc", "workload": "mpeg2/enc"}]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/batch"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
+		jobsFile  = flag.String("jobs", "", "JSON file with the job array")
+		mix       = flag.Bool("mix", false, "run the standard mixed ARM+PPC set over every workload")
+		n         = flag.Int("n", 0, "iteration count for -mix jobs (0 = per-workload default)")
+		scheduler = flag.String("scheduler", "event", "director scheduler: event or scan")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-job checkpoint files (enables resume)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "cycles between checkpoints (0 = none)")
+		deadline  = flag.Duration("deadline", 0, "per-job wall-clock deadline (0 = none)")
+		maxCycles = flag.Uint64("max-cycles", 0, "per-job cycle bound (0 = 20M)")
+		out       = flag.String("out", "", "write the JSON manifest to this file (default stdout)")
+		quiet     = flag.Bool("quiet", false, "suppress per-job progress lines")
+		injectAt  = flag.Uint64("inject-panic", 0, "fault injection: panic the first job at this cycle")
+	)
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "osmbatch:", err)
+		return 1
+	}
+
+	var jobs []batch.Job
+	switch {
+	case *jobsFile != "" && *mix:
+		return fail(fmt.Errorf("-jobs and -mix are mutually exclusive"))
+	case *jobsFile != "":
+		data, err := os.ReadFile(*jobsFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := json.Unmarshal(data, &jobs); err != nil {
+			return fail(fmt.Errorf("%s: %w", *jobsFile, err))
+		}
+	case *mix:
+		jobs = batch.MixJobs(*n)
+	default:
+		flag.Usage()
+		return 2
+	}
+	if len(jobs) == 0 {
+		return fail(fmt.Errorf("empty job set"))
+	}
+	scan := false
+	switch *scheduler {
+	case "event":
+	case "scan":
+		scan = true
+	default:
+		return fail(fmt.Errorf("unknown scheduler %q (want event or scan)", *scheduler))
+	}
+	for i := range jobs {
+		jobs[i].Scan = scan
+		if *maxCycles > 0 {
+			jobs[i].MaxCycles = *maxCycles
+		}
+	}
+	if *injectAt > 0 {
+		jobs[0].PanicAt = *injectAt
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fail(err)
+		}
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		return fail(fmt.Errorf("-checkpoint-every requires -checkpoint-dir"))
+	}
+
+	r := &batch.Runner{
+		Workers:         *workers,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Deadline:        *deadline,
+	}
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+
+	start := time.Now()
+	m := r.Run(jobs)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "osmbatch: %d jobs, %d failed, %v elapsed\n",
+			len(m.Results), m.Failed(), time.Since(start).Round(time.Millisecond))
+	}
+
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fail(err)
+	}
+	if m.Failed() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,410 @@
+// Package batch is the parallel batch-simulation driver: it runs a
+// set of workload/model jobs across a worker pool with per-job
+// deadlines, panic isolation, periodic checkpoints and resume from
+// the last checkpoint, and produces a JSON results manifest. It is
+// the library behind cmd/osmbatch.
+package batch
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim/ppc750"
+	"repro/internal/sim/strongarm"
+	"repro/internal/snap"
+	"repro/internal/workload"
+)
+
+// Job describes one simulation to run.
+type Job struct {
+	// Name identifies the job in results and checkpoint files; it
+	// must be unique within a batch. Empty means derived from the
+	// other fields.
+	Name string `json:"name"`
+	// Arch selects the model: "arm" (StrongARM) or "ppc" (PPC750).
+	Arch string `json:"arch"`
+	// Workload is a workload name from internal/workload.
+	Workload string `json:"workload"`
+	// N is the iteration count (0 = the workload's default).
+	N int `json:"n"`
+	// Scan selects the reference scan scheduler instead of the
+	// event-driven one.
+	Scan bool `json:"scan,omitempty"`
+	// MaxCycles bounds the run (0 = 20M).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// PanicAt, when nonzero, makes the job panic at that cycle —
+	// fault injection for exercising the driver's panic isolation.
+	PanicAt uint64 `json:"panic_at,omitempty"`
+}
+
+func (j *Job) fill() {
+	if j.N == 0 {
+		if w := workload.ByName(j.Workload); w != nil {
+			j.N = w.DefaultN
+		}
+	}
+	if j.MaxCycles == 0 {
+		j.MaxCycles = 20_000_000
+	}
+	if j.Name == "" {
+		j.Name = fmt.Sprintf("%s-%s-n%d", j.Arch, strings.ReplaceAll(j.Workload, "/", "_"), j.N)
+	}
+}
+
+// Job statuses.
+const (
+	StatusOK       = "ok"
+	StatusError    = "error"
+	StatusPanic    = "panic"
+	StatusDeadline = "deadline"
+)
+
+// Result reports one finished (or failed) job.
+type Result struct {
+	Job         Job      `json:"job"`
+	Status      string   `json:"status"`
+	Cycles      uint64   `json:"cycles"`
+	Instrs      uint64   `json:"instrs"`
+	CPI         float64  `json:"cpi,omitempty"`
+	Reported    []uint32 `json:"reported,omitempty"`
+	RefOK       *bool    `json:"ref_ok,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Resumed     bool     `json:"resumed,omitempty"`
+	Checkpoints int      `json:"checkpoints,omitempty"`
+	WallMS      int64    `json:"wall_ms"`
+}
+
+// Manifest is the JSON results document for one batch run.
+type Manifest struct {
+	Workers int      `json:"workers"`
+	Results []Result `json:"results"`
+}
+
+// Failed returns the number of jobs that did not finish with StatusOK.
+func (m *Manifest) Failed() int {
+	n := 0
+	for _, r := range m.Results {
+		if r.Status != StatusOK {
+			n++
+		}
+	}
+	return n
+}
+
+// Runner executes jobs across a worker pool.
+type Runner struct {
+	// Workers is the pool size (0 = 1).
+	Workers int
+	// CheckpointEvery is the cycle interval between checkpoints
+	// (0 = no periodic checkpoints).
+	CheckpointEvery uint64
+	// CheckpointDir receives per-job checkpoint files; required when
+	// CheckpointEvery is set. Jobs whose checkpoint file matches
+	// resume from it instead of starting over.
+	CheckpointDir string
+	// Deadline bounds each job's wall-clock time (0 = none).
+	Deadline time.Duration
+	// Log, if non-nil, receives per-job progress lines.
+	Log io.Writer
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// batchSim is the model-independent driver surface; both case-study
+// simulators implement it.
+type batchSim interface {
+	StepCycle() error
+	Cycle() uint64
+	Done() bool
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// buildSim constructs the job's simulator plus a finalizer extracting
+// (cycles, instrs, reported) after the run drains.
+func buildSim(j Job) (batchSim, func() (uint64, uint64, []uint32, error), error) {
+	w := workload.ByName(j.Workload)
+	if w == nil {
+		return nil, nil, fmt.Errorf("batch: unknown workload %q", j.Workload)
+	}
+	switch j.Arch {
+	case "arm":
+		p, err := w.ARMProgram(j.N)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := strongarm.New(p, strongarm.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Director().Scan = j.Scan
+		fin := func() (uint64, uint64, []uint32, error) {
+			st, err := s.Finalize()
+			return st.Cycles, st.Instrs, s.ISS.Reported, err
+		}
+		return s, fin, nil
+	case "ppc":
+		p, err := w.PPCProgram(j.N)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := ppc750.New(p, ppc750.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Director().Scan = j.Scan
+		fin := func() (uint64, uint64, []uint32, error) {
+			st, err := s.Finalize()
+			return st.Cycles, st.Instrs, s.ISS.Reported, err
+		}
+		return s, fin, nil
+	default:
+		return nil, nil, fmt.Errorf("batch: unknown arch %q (want arm or ppc)", j.Arch)
+	}
+}
+
+// Run executes the batch and returns the manifest. Results are in job
+// order regardless of completion order. A panicking job is recorded
+// with StatusPanic; the worker survives and continues with the next
+// job.
+func (r *Runner) Run(jobs []Job) Manifest {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = r.runJob(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return Manifest{Workers: workers, Results: results}
+}
+
+// runJob executes one job, converting panics into a StatusPanic
+// result.
+func (r *Runner) runJob(j Job) (res Result) {
+	j.fill()
+	res.Job = j
+	start := time.Now()
+	defer func() {
+		res.WallMS = time.Since(start).Milliseconds()
+		if p := recover(); p != nil {
+			res.Status = StatusPanic
+			res.Error = fmt.Sprintf("panic: %v", p)
+			r.logf("job %s: %s", j.Name, res.Error)
+		}
+	}()
+
+	s, finalize, err := buildSim(j)
+	if err != nil {
+		res.Status = StatusError
+		res.Error = err.Error()
+		return res
+	}
+
+	if blob, cycle, ok := r.loadCheckpoint(j); ok {
+		if err := s.Restore(blob); err != nil {
+			// A stale or corrupt checkpoint must not kill the job:
+			// rebuild and start over.
+			r.logf("job %s: checkpoint unusable (%v), restarting", j.Name, err)
+			s, finalize, err = buildSim(j)
+			if err != nil {
+				res.Status = StatusError
+				res.Error = err.Error()
+				return res
+			}
+		} else {
+			res.Resumed = true
+			r.logf("job %s: resumed at cycle %d", j.Name, cycle)
+		}
+	}
+
+	nextCkpt := uint64(0)
+	if r.CheckpointEvery > 0 {
+		nextCkpt = s.Cycle() + r.CheckpointEvery
+	}
+	const deadlineCheck = 1024
+	for !s.Done() {
+		if s.Cycle() >= j.MaxCycles {
+			res.Status = StatusError
+			res.Error = fmt.Sprintf("did not finish within %d cycles", j.MaxCycles)
+			return res
+		}
+		if j.PanicAt > 0 && s.Cycle() == j.PanicAt {
+			panic(fmt.Sprintf("injected fault at cycle %d", j.PanicAt))
+		}
+		if r.Deadline > 0 && s.Cycle()%deadlineCheck == 0 && time.Since(start) > r.Deadline {
+			res.Status = StatusDeadline
+			res.Error = fmt.Sprintf("exceeded deadline %v at cycle %d", r.Deadline, s.Cycle())
+			return res
+		}
+		if err := s.StepCycle(); err != nil {
+			res.Status = StatusError
+			res.Error = err.Error()
+			return res
+		}
+		if nextCkpt > 0 && s.Cycle() >= nextCkpt {
+			if err := r.writeCheckpoint(j, s); err != nil {
+				r.logf("job %s: checkpoint failed: %v", j.Name, err)
+			} else {
+				res.Checkpoints++
+			}
+			nextCkpt = s.Cycle() + r.CheckpointEvery
+		}
+	}
+
+	cycles, instrs, reported, err := finalize()
+	res.Cycles, res.Instrs, res.Reported = cycles, instrs, reported
+	if instrs > 0 {
+		res.CPI = float64(cycles) / float64(instrs)
+	}
+	if err != nil {
+		res.Status = StatusError
+		res.Error = err.Error()
+		return res
+	}
+	if w := workload.ByName(j.Workload); w != nil && w.Ref != nil {
+		ok := len(reported) == 1 && reported[0] == w.Ref(j.N)
+		res.RefOK = &ok
+		if !ok {
+			res.Status = StatusError
+			res.Error = "reported checksum does not match the workload reference"
+			return res
+		}
+	}
+	res.Status = StatusOK
+	r.removeCheckpoint(j)
+	r.logf("job %s: ok (%d cycles, %d instrs)", j.Name, cycles, instrs)
+	return res
+}
+
+// ---- checkpoint files ----
+
+const (
+	ckptHeader  = "ckpt"
+	ckptVersion = 1
+)
+
+func (r *Runner) checkpointPath(j Job) string {
+	return filepath.Join(r.CheckpointDir, j.Name+".ckpt")
+}
+
+// writeCheckpoint atomically persists the job's state: the snapshot
+// is wrapped with the job identity so a renamed or edited job set
+// cannot resume from a mismatched file.
+func (r *Runner) writeCheckpoint(j Job, s batchSim) error {
+	if r.CheckpointDir == "" {
+		return fmt.Errorf("batch: CheckpointEvery set without CheckpointDir")
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	w := snap.NewWriter()
+	w.U32(snap.Magic)
+	w.String(ckptHeader)
+	w.Version(ckptVersion)
+	writeJobIdentity(w, j)
+	w.U64(s.Cycle())
+	w.Bytes32(blob)
+	path := r.checkpointPath(j)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoint returns the simulator snapshot from the job's
+// checkpoint file when one exists and its identity matches.
+func (r *Runner) loadCheckpoint(j Job) (blob []byte, cycle uint64, ok bool) {
+	if r.CheckpointDir == "" {
+		return nil, 0, false
+	}
+	data, err := os.ReadFile(r.checkpointPath(j))
+	if err != nil {
+		return nil, 0, false
+	}
+	rd := snap.NewReader(data)
+	if rd.U32() != snap.Magic || rd.String() != ckptHeader {
+		return nil, 0, false
+	}
+	rd.Version(ckptHeader, ckptVersion)
+	var stored Job
+	readJobIdentity(rd, &stored)
+	cycle = rd.U64()
+	blob = rd.Bytes32()
+	if rd.Err() != nil || stored != jobIdentity(j) {
+		r.logf("job %s: ignoring checkpoint with mismatched identity", j.Name)
+		return nil, 0, false
+	}
+	return blob, cycle, true
+}
+
+func (r *Runner) removeCheckpoint(j Job) {
+	if r.CheckpointDir != "" {
+		os.Remove(r.checkpointPath(j))
+	}
+}
+
+// jobIdentity strips the fields that do not affect simulation state
+// (fault injection is driver-side).
+func jobIdentity(j Job) Job {
+	j.PanicAt = 0
+	return j
+}
+
+func writeJobIdentity(w *snap.Writer, j Job) {
+	id := jobIdentity(j)
+	w.String(id.Name)
+	w.String(id.Arch)
+	w.String(id.Workload)
+	w.Int(id.N)
+	w.Bool(id.Scan)
+	w.U64(id.MaxCycles)
+}
+
+func readJobIdentity(r *snap.Reader, j *Job) {
+	j.Name = r.String()
+	j.Arch = r.String()
+	j.Workload = r.String()
+	j.N = r.Int()
+	j.Scan = r.Bool()
+	j.MaxCycles = r.U64()
+}
+
+// MixJobs returns the standard mixed ARM+PPC job set over every
+// workload, n iterations each (0 = per-workload default).
+func MixJobs(n int) []Job {
+	var jobs []Job
+	for _, w := range workload.Mix() {
+		for _, arch := range []string{"arm", "ppc"} {
+			jobs = append(jobs, Job{Arch: arch, Workload: w.Name, N: n})
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,218 @@
+package batch
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// smallJobs is a mixed ARM+PPC set sized for tests: two workloads on
+// both models at a reduced iteration count.
+func smallJobs() []Job {
+	return []Job{
+		{Arch: "arm", Workload: "gsm/dec", N: 40},
+		{Arch: "ppc", Workload: "gsm/dec", N: 40},
+		{Arch: "arm", Workload: "g721/enc", N: 30},
+		{Arch: "ppc", Workload: "g721/enc", N: 30},
+	}
+}
+
+func checkOK(t *testing.T, res Result) {
+	t.Helper()
+	if res.Status != StatusOK {
+		t.Fatalf("job %s: status %q (%s)", res.Job.Name, res.Status, res.Error)
+	}
+	if res.RefOK == nil || !*res.RefOK {
+		t.Fatalf("job %s: reference checksum not verified", res.Job.Name)
+	}
+	w := workload.ByName(res.Job.Workload)
+	if len(res.Reported) != 1 || res.Reported[0] != w.Ref(res.Job.N) {
+		t.Fatalf("job %s: reported %v, want %#x", res.Job.Name, res.Reported, w.Ref(res.Job.N))
+	}
+	if res.Cycles == 0 || res.Instrs == 0 {
+		t.Fatalf("job %s: empty stats %d cycles / %d instrs", res.Job.Name, res.Cycles, res.Instrs)
+	}
+}
+
+// TestRunMixedParallel runs the mixed ARM+PPC set across 4 workers and
+// verifies every job completes with the workload's reference checksum.
+func TestRunMixedParallel(t *testing.T) {
+	r := &Runner{Workers: 4}
+	m := r.Run(smallJobs())
+	if len(m.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(m.Results))
+	}
+	if m.Failed() != 0 {
+		t.Fatalf("%d jobs failed", m.Failed())
+	}
+	for _, res := range m.Results {
+		checkOK(t, res)
+	}
+	// The manifest must round-trip through JSON (it is the osmbatch
+	// output format).
+	data, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 4 || back.Results[0].Status != StatusOK {
+		t.Fatalf("manifest did not survive JSON round-trip: %+v", back)
+	}
+}
+
+// TestPanicIsolation injects a fault into one job and verifies the
+// worker survives: the faulted job reports StatusPanic and every other
+// job still completes correctly.
+func TestPanicIsolation(t *testing.T) {
+	jobs := smallJobs()
+	jobs[1].PanicAt = 500
+	r := &Runner{Workers: 2}
+	m := r.Run(jobs)
+	for i, res := range m.Results {
+		if i == 1 {
+			if res.Status != StatusPanic {
+				t.Fatalf("faulted job: status %q, want %q", res.Status, StatusPanic)
+			}
+			if res.Error == "" {
+				t.Fatal("faulted job: no error recorded")
+			}
+			continue
+		}
+		checkOK(t, res)
+	}
+}
+
+// TestDeadline verifies a job that cannot finish in time is cut off
+// with StatusDeadline rather than hanging the batch.
+func TestDeadline(t *testing.T) {
+	jobs := []Job{{Arch: "arm", Workload: "gsm/dec", N: 5000}}
+	r := &Runner{Workers: 1, Deadline: time.Millisecond}
+	m := r.Run(jobs)
+	if got := m.Results[0].Status; got != StatusDeadline {
+		t.Fatalf("status %q, want %q", got, StatusDeadline)
+	}
+}
+
+// TestResumeFromCheckpoint simulates a killed run: the first Run is
+// abandoned mid-job (via an injected panic after the checkpoint), then
+// a second Run with the same checkpoint directory must resume from the
+// checkpoint and produce the same totals as an uninterrupted run.
+func TestResumeFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Arch: "ppc", Workload: "gsm/dec", N: 40}
+
+	// Uninterrupted reference.
+	ref := (&Runner{Workers: 1}).Run([]Job{job}).Results[0]
+	checkOK(t, ref)
+
+	// First attempt: checkpoint every 200 cycles, die at cycle 1000.
+	killed := job
+	killed.PanicAt = 1000
+	first := (&Runner{
+		Workers:         1,
+		CheckpointDir:   dir,
+		CheckpointEvery: 200,
+	}).Run([]Job{killed}).Results[0]
+	if first.Status != StatusPanic {
+		t.Fatalf("first attempt: status %q, want %q", first.Status, StatusPanic)
+	}
+	if first.Checkpoints == 0 {
+		t.Fatal("first attempt wrote no checkpoints")
+	}
+	if _, err := os.Stat(filepath.Join(dir, first.Job.Name+".ckpt")); err != nil {
+		t.Fatalf("checkpoint file missing after kill: %v", err)
+	}
+
+	// Second attempt resumes and completes.
+	second := (&Runner{
+		Workers:         1,
+		CheckpointDir:   dir,
+		CheckpointEvery: 200,
+	}).Run([]Job{job}).Results[0]
+	if !second.Resumed {
+		t.Fatal("second attempt did not resume from the checkpoint")
+	}
+	checkOK(t, second)
+	if second.Cycles != ref.Cycles || second.Instrs != ref.Instrs {
+		t.Fatalf("resumed run: %d cycles / %d instrs, uninterrupted: %d / %d",
+			second.Cycles, second.Instrs, ref.Cycles, ref.Instrs)
+	}
+	// A successful job removes its checkpoint so the next batch starts
+	// fresh.
+	if _, err := os.Stat(filepath.Join(dir, second.Job.Name+".ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not cleaned up after success: %v", err)
+	}
+}
+
+// TestCheckpointIdentityMismatch verifies a checkpoint written for a
+// different job configuration is ignored instead of restored.
+func TestCheckpointIdentityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Name: "fixed-name", Arch: "arm", Workload: "gsm/dec", N: 40, PanicAt: 800}
+	r := &Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}
+	if got := r.Run([]Job{job}).Results[0]; got.Status != StatusPanic {
+		t.Fatalf("setup run: status %q", got.Status)
+	}
+
+	// Same name, different iteration count: must not resume.
+	other := Job{Name: "fixed-name", Arch: "arm", Workload: "gsm/dec", N: 50}
+	res := (&Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}).Run([]Job{other}).Results[0]
+	if res.Resumed {
+		t.Fatal("resumed from a checkpoint with a different job identity")
+	}
+	checkOK(t, res)
+}
+
+// TestCorruptCheckpointRestarts verifies a truncated checkpoint file
+// does not kill the job — it restarts from scratch and still succeeds.
+func TestCorruptCheckpointRestarts(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Name: "c", Arch: "arm", Workload: "gsm/dec", N: 40, PanicAt: 800}
+	r := &Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}
+	if got := r.Run([]Job{job}).Results[0]; got.Status != StatusPanic {
+		t.Fatalf("setup run: status %q", got.Status)
+	}
+	path := filepath.Join(dir, "c.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := Job{Name: "c", Arch: "arm", Workload: "gsm/dec", N: 40}
+	res := (&Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}).Run([]Job{clean}).Results[0]
+	if res.Resumed {
+		t.Fatal("resumed from a corrupt checkpoint")
+	}
+	checkOK(t, res)
+}
+
+// TestMixJobs checks the standard job set covers every workload on
+// both models with unique names.
+func TestMixJobs(t *testing.T) {
+	jobs := MixJobs(0)
+	want := 2 * len(workload.Mix())
+	if len(jobs) != want {
+		t.Fatalf("got %d jobs, want %d", len(jobs), want)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		j.fill()
+		if seen[j.Name] {
+			t.Fatalf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		if j.N == 0 {
+			t.Fatalf("job %s: default N not filled", j.Name)
+		}
+	}
+}

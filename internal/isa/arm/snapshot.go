@@ -1,0 +1,38 @@
+package arm
+
+import "repro/internal/snap"
+
+const cpuSnapVersion = 1
+
+// Snapshot encodes the architectural state: registers, flags, halt
+// status and the executed-instruction count. The memory image and
+// handlers are owned by the embedding simulator.
+func (c *CPU) Snapshot(w *snap.Writer) {
+	w.Version(cpuSnapVersion)
+	for _, r := range c.R {
+		w.U32(r)
+	}
+	w.Bool(c.N)
+	w.Bool(c.Z)
+	w.Bool(c.C)
+	w.Bool(c.V)
+	w.Bool(c.Halted)
+	w.U32(c.ExitCode)
+	w.U64(c.Executed)
+}
+
+// Restore decodes an architectural-state snapshot.
+func (c *CPU) Restore(r *snap.Reader) error {
+	r.Version("arm cpu", cpuSnapVersion)
+	for i := range c.R {
+		c.R[i] = r.U32()
+	}
+	c.N = r.Bool()
+	c.Z = r.Bool()
+	c.C = r.Bool()
+	c.V = r.Bool()
+	c.Halted = r.Bool()
+	c.ExitCode = r.U32()
+	c.Executed = r.U64()
+	return r.Close("arm cpu")
+}

@@ -1,0 +1,40 @@
+package ppc
+
+import "repro/internal/snap"
+
+const cpuSnapVersion = 1
+
+// Snapshot encodes the architectural state: registers, special
+// registers, halt status and the executed-instruction count. The
+// memory image and handlers are owned by the embedding simulator.
+func (c *CPU) Snapshot(w *snap.Writer) {
+	w.Version(cpuSnapVersion)
+	for _, r := range c.R {
+		w.U32(r)
+	}
+	w.U32(c.CR)
+	w.U32(c.LR)
+	w.U32(c.CTR)
+	w.U32(c.XER)
+	w.U32(c.NextPC)
+	w.Bool(c.Halted)
+	w.U32(c.ExitCode)
+	w.U64(c.Executed)
+}
+
+// Restore decodes an architectural-state snapshot.
+func (c *CPU) Restore(r *snap.Reader) error {
+	r.Version("ppc cpu", cpuSnapVersion)
+	for i := range c.R {
+		c.R[i] = r.U32()
+	}
+	c.CR = r.U32()
+	c.LR = r.U32()
+	c.CTR = r.U32()
+	c.XER = r.U32()
+	c.NextPC = r.U32()
+	c.Halted = r.Bool()
+	c.ExitCode = r.U32()
+	c.Executed = r.U64()
+	return r.Close("ppc cpu")
+}

@@ -11,11 +11,16 @@ import (
 // diagrams and utilization reports. Install it with
 // director.Tracer = recorder (or chain it from another Tracer).
 type Recorder struct {
-	// Limit bounds the retained history (0 = unlimited). Statistics
-	// always cover the whole run.
+	// Limit bounds the retained history to the most recent Limit
+	// events (0 = unlimited). Statistics always cover the whole run.
 	Limit int
+	// Next, if non-nil, receives every transition after it is
+	// recorded, so a bounded Recorder can be chained in front of
+	// another Tracer without hiding events from it.
+	Next Tracer
 
 	events     []Event
+	start      int // ring start when len(events) == Limit
 	edgeCount  map[string]uint64
 	stateEnter map[string]uint64
 	firstStep  uint64
@@ -49,16 +54,37 @@ func (r *Recorder) Transition(step uint64, m *Machine, e *Edge) {
 	r.lastStep = step
 	r.edgeCount[e.Name]++
 	r.stateEnter[e.To.Name]++
+	ev := Event{
+		Step: step, Machine: m.Name, Edge: e.Name,
+		From: e.From.Name, To: e.To.Name,
+	}
 	if r.Limit == 0 || len(r.events) < r.Limit {
-		r.events = append(r.events, Event{
-			Step: step, Machine: m.Name, Edge: e.Name,
-			From: e.From.Name, To: e.To.Name,
-		})
+		r.events = append(r.events, ev)
+	} else {
+		// History is full: overwrite the oldest event so the retained
+		// window tracks the end of the run, not its beginning.
+		r.events[r.start] = ev
+		r.start++
+		if r.start == r.Limit {
+			r.start = 0
+		}
+	}
+	if r.Next != nil {
+		r.Next.Transition(step, m, e)
 	}
 }
 
-// Events returns the retained history in commit order.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the retained history in commit order. With a Limit
+// set, these are the most recent Limit events.
+func (r *Recorder) Events() []Event {
+	if r.start == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
 
 // EdgeCount returns how many times the named edge committed.
 func (r *Recorder) EdgeCount(edge string) uint64 { return r.edgeCount[edge] }
@@ -111,6 +137,7 @@ func (r *Recorder) Report(w io.Writer) {
 // Reset clears the recording.
 func (r *Recorder) Reset() {
 	r.events = r.events[:0]
+	r.start = 0
 	r.edgeCount = make(map[string]uint64)
 	r.stateEnter = make(map[string]uint64)
 	r.any = false

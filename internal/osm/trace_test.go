@@ -41,6 +41,51 @@ func TestRecorderCountsAndHistory(t *testing.T) {
 	}
 }
 
+func TestRecorderLimitKeepsMostRecent(t *testing.T) {
+	// A bounded history must be a sliding window over the end of the
+	// run: statistics cover all 12 steps, the retained events are the
+	// last 5, in commit order, and a chained Tracer still sees every
+	// transition.
+	d, _, _ := twoStage(1)
+	rec := NewRecorder()
+	rec.Limit = 5
+	var chained []uint64
+	rec.Next = TracerFunc(func(step uint64, m *Machine, e *Edge) {
+		chained = append(chained, step)
+	})
+	d.Tracer = rec
+	const steps = 12
+	for i := 0; i < steps; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One transition per step in this model.
+	if got := rec.EdgeCount("acquire") + rec.EdgeCount("retire"); got != steps {
+		t.Fatalf("statistics cover %d transitions, want %d", got, steps)
+	}
+	if rec.Steps() != steps {
+		t.Fatalf("Steps = %d, want %d", rec.Steps(), steps)
+	}
+	evs := rec.Events()
+	if len(evs) != 5 {
+		t.Fatalf("history length = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(steps - 5 + i); ev.Step != want {
+			t.Fatalf("event %d is from step %d, want %d (oldest must be trimmed)", i, ev.Step, want)
+		}
+	}
+	if len(chained) != steps {
+		t.Fatalf("chained tracer saw %d transitions, want %d", len(chained), steps)
+	}
+	for i, s := range chained {
+		if s != uint64(i) {
+			t.Fatalf("chained tracer event %d at step %d, want %d", i, s, i)
+		}
+	}
+}
+
 func TestRecorderLimitAndReset(t *testing.T) {
 	d, _, _ := twoStage(1)
 	rec := NewRecorder()

@@ -75,7 +75,7 @@ func trackedDsts(ins *ppc.Instr) (out []int, gprs int) {
 // the result buses.
 type renamer struct {
 	osm.BaseManager
-	cycle      uint64
+	cycle uint64
 	// resultTimes holds the not-yet-reached result times of in-flight
 	// operations; when one is reached at BeginStep, readiness
 	// inquiries that previously failed can now succeed.
@@ -84,6 +84,12 @@ type renamer struct {
 	// Rename-buffer pool for GPR destinations.
 	bufCap, bufUsed int
 	undo            map[*osm.Machine][]undoEntry
+
+	// snapIdx and snapOps are installed by Sim.Snapshot/Restore around
+	// the director snapshot so the Snapshotter methods can encode
+	// lastWriter entries as op-table indices.
+	snapIdx map[*op]int
+	snapOps []*op
 }
 
 type undoEntry struct {

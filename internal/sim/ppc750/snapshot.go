@@ -1,0 +1,383 @@
+package ppc750
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/osm"
+	"repro/internal/snap"
+)
+
+// Full-simulator checkpointing. Unlike the in-order StrongARM model,
+// the 750's dynamic state includes a pointer graph: machines and the
+// renamer's newest-writer table reference per-operation op values,
+// which reference their producers through deps. A snapshot linearizes
+// the graph into an indexed op table — machines in registration
+// order, then the newest-writer entries, then the deps closure — and
+// encodes every reference as a table index. Decode-derived facts
+// (instruction, class, operand lists) are re-derived from the
+// restored RAM image; program text is immutable in this model.
+
+const simSnapVersion = 1
+
+const simSnapHeader = "p750"
+
+// collectOps gathers every live op reachable from the model in a
+// deterministic order and returns the table plus its index map.
+func (s *Sim) collectOps() ([]*op, map[*op]int) {
+	var ops []*op
+	idx := make(map[*op]int)
+	add := func(o *op) {
+		if o == nil {
+			return
+		}
+		if _, ok := idx[o]; !ok {
+			idx[o] = len(ops)
+			ops = append(ops, o)
+		}
+	}
+	for _, m := range s.director.Machines() {
+		if o, ok := m.Ctx.(*op); ok {
+			add(o)
+		}
+	}
+	for _, w := range s.ren.lastWriter {
+		add(w)
+	}
+	for i := 0; i < len(ops); i++ { // ops grows while walking deps
+		for _, d := range ops[i].deps {
+			add(d)
+		}
+	}
+	return ops, idx
+}
+
+func opIndex(idx map[*op]int, o *op) int {
+	if o == nil {
+		return -1
+	}
+	return idx[o]
+}
+
+// Snapshot encodes the complete simulator state.
+func (s *Sim) Snapshot() ([]byte, error) {
+	if n := len(s.ren.undo); n > 0 {
+		return nil, fmt.Errorf("ppc750: snapshot with %d uncommitted rename transactions (snapshot only between cycles)", n)
+	}
+	ops, idx := s.collectOps()
+
+	w := snap.NewWriter()
+	w.U32(snap.Magic)
+	w.String(simSnapHeader)
+	w.Version(simSnapVersion)
+	w.Blob(s.ISS.Snapshot)
+	w.Blob(s.Hier.Snapshot)
+	var kerr error
+	w.Blob(func(w *snap.Writer) { kerr = s.Kernel.Snapshot(w) })
+	if kerr != nil {
+		return nil, kerr
+	}
+	w.Blob(s.BHT.Snapshot)
+	w.Blob(s.BTIC.Snapshot)
+
+	w.U32(s.fetchPC)
+	w.Bool(s.fetchStop)
+	w.Bool(s.fetchHeld)
+	w.U64(s.fetchResumeAt)
+	w.U64(s.retired)
+	w.U64(s.dispatched)
+	w.U64(s.mispredicts)
+	if s.execErr != nil {
+		w.String(s.execErr.Error())
+	} else {
+		w.String("")
+	}
+
+	w.Blob(func(w *snap.Writer) {
+		w.Int(len(ops))
+		for _, o := range ops {
+			o := o
+			w.Blob(func(w *snap.Writer) {
+				w.U32(o.pc)
+				w.U32(o.predictedNext)
+				w.U32(o.actualNext)
+				w.Bool(o.indirect)
+				w.Bool(o.redirect)
+				w.U64(o.resultAt)
+				w.Int(o.renameBufs)
+				w.U64(o.execLat)
+				w.U32(o.memAddr)
+				w.Bool(o.isMem)
+				w.Bool(o.isStore)
+				w.Int(len(o.deps))
+				for _, d := range o.deps {
+					w.Int(opIndex(idx, d))
+				}
+			})
+		}
+	})
+	for _, m := range s.director.Machines() {
+		if o, ok := m.Ctx.(*op); ok {
+			w.Int(opIndex(idx, o))
+		} else {
+			w.Int(-1)
+		}
+	}
+
+	s.ren.snapIdx = idx
+	var derr error
+	w.Blob(func(w *snap.Writer) { derr = s.director.Snapshot(w) })
+	s.ren.snapIdx = nil
+	if derr != nil {
+		return nil, derr
+	}
+	return w.Bytes(), nil
+}
+
+// Restore decodes a snapshot into this simulator, which must have
+// been built with New from the same program and configuration and not
+// yet stepped.
+func (s *Sim) Restore(data []byte) error {
+	r := snap.NewReader(data)
+	if m := r.U32(); r.Err() == nil && m != snap.Magic {
+		return fmt.Errorf("ppc750: not a snapshot (magic %#x)", m)
+	}
+	if h := r.String(); r.Err() == nil && h != simSnapHeader {
+		return fmt.Errorf("ppc750: snapshot is for model %q, want %q", h, simSnapHeader)
+	}
+	r.Version("ppc750 sim", simSnapVersion)
+	if err := s.ISS.Restore(r.Blob()); err != nil {
+		return err
+	}
+	if err := s.Hier.Restore(r.Blob()); err != nil {
+		return err
+	}
+	if err := s.Kernel.Restore(r.Blob()); err != nil {
+		return err
+	}
+	if err := s.BHT.Restore(r.Blob()); err != nil {
+		return err
+	}
+	if err := s.BTIC.Restore(r.Blob()); err != nil {
+		return err
+	}
+
+	s.fetchPC = r.U32()
+	s.fetchStop = r.Bool()
+	s.fetchHeld = r.Bool()
+	s.fetchResumeAt = r.U64()
+	s.retired = r.U64()
+	s.dispatched = r.U64()
+	s.mispredicts = r.U64()
+	if msg := r.String(); msg != "" {
+		s.execErr = errors.New(msg)
+	} else {
+		s.execErr = nil
+	}
+	s.fetchCount = 0 // reset at the start of every cycle
+
+	// Op table: create every op first, then wire deps and re-derive
+	// the decode facts (deps may point forward in the table).
+	tb := r.Blob()
+	nOps := tb.Int()
+	if err := tb.Err(); err != nil {
+		return err
+	}
+	if nOps < 0 || nOps > tb.Remaining() {
+		return fmt.Errorf("ppc750: implausible op count %d", nOps)
+	}
+	ops := make([]*op, nOps)
+	for i := range ops {
+		ops[i] = &op{}
+	}
+	for i := range ops {
+		b := tb.Blob()
+		o := ops[i]
+		o.pc = b.U32()
+		o.predictedNext = b.U32()
+		o.actualNext = b.U32()
+		o.indirect = b.Bool()
+		o.redirect = b.Bool()
+		o.resultAt = b.U64()
+		o.renameBufs = b.Int()
+		o.execLat = b.U64()
+		o.memAddr = b.U32()
+		o.isMem = b.Bool()
+		o.isStore = b.Bool()
+		nd := b.Int()
+		if err := b.Err(); err != nil {
+			return fmt.Errorf("ppc750: op %d: %w", i, err)
+		}
+		if nd < 0 || nd > nOps {
+			return fmt.Errorf("ppc750: op %d: dep count %d out of range", i, nd)
+		}
+		for j := 0; j < nd; j++ {
+			di := b.Int()
+			if b.Err() == nil && (di < 0 || di >= nOps) {
+				return fmt.Errorf("ppc750: op %d: dep index %d out of range", i, di)
+			}
+			if b.Err() == nil {
+				o.deps = append(o.deps, ops[di])
+			}
+		}
+		if err := b.Close(fmt.Sprintf("ppc750 op %d", i)); err != nil {
+			return err
+		}
+		if d := s.decode(o.pc); d.ok {
+			o.ins, o.decodeOK = d.ins, true
+			o.class = d.class
+			o.srcs, o.dsts, o.gprDsts = d.srcs, d.dsts, d.gprs
+		}
+	}
+	if err := tb.Close("ppc750 op table"); err != nil {
+		return err
+	}
+
+	for _, m := range s.director.Machines() {
+		oi := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		switch {
+		case oi == -1:
+			m.Ctx = nil
+		case oi >= 0 && oi < nOps:
+			m.Ctx = ops[oi]
+		default:
+			return fmt.Errorf("ppc750: machine op index %d out of range", oi)
+		}
+	}
+
+	s.ren.snapOps = ops
+	err := s.director.Restore(r.Blob())
+	s.ren.snapOps = nil
+	if err != nil {
+		return err
+	}
+	return r.Close("ppc750 sim")
+}
+
+const bpredSnapVersion = 1
+
+// Snapshot encodes the predictor's counters and statistics.
+func (b *BHT) Snapshot(w *snap.Writer) {
+	w.Version(bpredSnapVersion)
+	w.Int(len(b.counters))
+	for _, c := range b.counters {
+		w.U8(c)
+	}
+	w.U64(b.Lookups)
+	w.U64(b.Hits)
+}
+
+// Restore decodes a BHT snapshot into a table of identical size.
+func (b *BHT) Restore(r *snap.Reader) error {
+	r.Version("bht", bpredSnapVersion)
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(b.counters) {
+		return fmt.Errorf("ppc750: bht snapshot has %d entries, table has %d", n, len(b.counters))
+	}
+	for i := range b.counters {
+		b.counters[i] = r.U8()
+	}
+	b.Lookups = r.U64()
+	b.Hits = r.U64()
+	return r.Close("bht")
+}
+
+// Snapshot encodes the target cache's entries and statistics.
+func (b *BTIC) Snapshot(w *snap.Writer) {
+	w.Version(bpredSnapVersion)
+	w.Int(len(b.tags))
+	for i := range b.tags {
+		w.U32(b.tags[i])
+		w.U32(b.targets[i])
+		w.Bool(b.valid[i])
+	}
+	w.U64(b.Lookups)
+	w.U64(b.Hits)
+}
+
+// Restore decodes a BTIC snapshot into a cache of identical size.
+func (b *BTIC) Restore(r *snap.Reader) error {
+	r.Version("btic", bpredSnapVersion)
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(b.tags) {
+		return fmt.Errorf("ppc750: btic snapshot has %d entries, cache has %d", n, len(b.tags))
+	}
+	for i := range b.tags {
+		b.tags[i] = r.U32()
+		b.targets[i] = r.U32()
+		b.valid[i] = r.Bool()
+	}
+	b.Lookups = r.U64()
+	b.Hits = r.U64()
+	return r.Close("btic")
+}
+
+const renamerSnapVersion = 1
+
+// SnapshotState encodes the rename state (osm.Snapshotter). Op
+// references go through the op-table index installed by Sim.Snapshot;
+// uncommitted transactions were rejected there.
+func (r *renamer) SnapshotState(c *osm.SnapCtx, w *snap.Writer) {
+	w.Version(renamerSnapVersion)
+	w.U64(r.cycle)
+	w.Int(len(r.resultTimes))
+	for _, at := range r.resultTimes {
+		w.U64(at)
+	}
+	for _, o := range r.lastWriter {
+		w.Int(opIndex(r.snapIdx, o))
+	}
+	w.Int(r.bufCap)
+	w.Int(r.bufUsed)
+}
+
+// RestoreState decodes a rename snapshot (osm.Snapshotter), resolving
+// op references against the table installed by Sim.Restore.
+func (r *renamer) RestoreState(c *osm.SnapCtx, rd *snap.Reader) error {
+	rd.Version("regfiles+rename", renamerSnapVersion)
+	r.cycle = rd.U64()
+	n := rd.Int()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > rd.Remaining() {
+		return fmt.Errorf("regfiles+rename: implausible result count %d", n)
+	}
+	r.resultTimes = r.resultTimes[:0]
+	for i := 0; i < n; i++ {
+		r.resultTimes = append(r.resultTimes, rd.U64())
+	}
+	for i := range r.lastWriter {
+		oi := rd.Int()
+		switch {
+		case oi == -1:
+			r.lastWriter[i] = nil
+		case oi >= 0 && oi < len(r.snapOps):
+			r.lastWriter[i] = r.snapOps[oi]
+		default:
+			if rd.Err() == nil {
+				return fmt.Errorf("regfiles+rename: writer op index %d out of range", oi)
+			}
+		}
+	}
+	bufCap := rd.Int()
+	bufUsed := rd.Int()
+	if err := rd.Close("regfiles+rename"); err != nil {
+		return err
+	}
+	if bufCap != r.bufCap {
+		return fmt.Errorf("regfiles+rename: snapshot has %d rename buffers, model has %d", bufCap, r.bufCap)
+	}
+	r.bufUsed = bufUsed
+	r.undo = make(map[*osm.Machine][]undoEntry)
+	return nil
+}

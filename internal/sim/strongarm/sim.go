@@ -409,20 +409,42 @@ func (s *Sim) squashYounger(cause *osm.Machine) {
 	}
 }
 
-// Run simulates until the program exits or maxCycles elapse.
-func (s *Sim) Run(maxCycles uint64) (Stats, error) {
-	done := func() bool {
-		if !s.ISS.CPU.Halted && s.execErr == nil {
+// StepCycle advances the simulation by one clock cycle.
+func (s *Sim) StepCycle() error { return s.Kernel.StepCycle() }
+
+// Cycle returns the number of completed clock cycles.
+func (s *Sim) Cycle() uint64 { return s.Kernel.Cycle() }
+
+// Done reports whether the program has exited (or died) and the
+// pipeline has fully drained.
+func (s *Sim) Done() bool {
+	if !s.ISS.CPU.Halted && s.execErr == nil {
+		return false
+	}
+	for _, m := range s.director.Machines() {
+		if !m.InInitial() {
 			return false
 		}
-		for _, m := range s.director.Machines() {
-			if !m.InInitial() {
-				return false
-			}
-		}
-		return true
 	}
-	_, finished, err := s.Kernel.RunUntil(done, maxCycles)
+	return true
+}
+
+// Finalize checks the end-of-run invariants of a completed simulation
+// and returns its statistics.
+func (s *Sim) Finalize() (Stats, error) {
+	if s.execErr != nil {
+		return s.stats(), s.execErr
+	}
+	if s.retired != s.ISS.Stats.Instrs {
+		return s.stats(), fmt.Errorf("strongarm: model invariant violated: %d retired vs %d executed",
+			s.retired, s.ISS.Stats.Instrs)
+	}
+	return s.stats(), nil
+}
+
+// Run simulates until the program exits or maxCycles elapse.
+func (s *Sim) Run(maxCycles uint64) (Stats, error) {
+	_, finished, err := s.Kernel.RunUntil(s.Done, maxCycles)
 	if err != nil {
 		return s.stats(), err
 	}
@@ -432,11 +454,7 @@ func (s *Sim) Run(maxCycles uint64) (Stats, error) {
 	if !finished {
 		return s.stats(), fmt.Errorf("strongarm: program did not finish within %d cycles", maxCycles)
 	}
-	if s.retired != s.ISS.Stats.Instrs {
-		return s.stats(), fmt.Errorf("strongarm: model invariant violated: %d retired vs %d executed",
-			s.retired, s.ISS.Stats.Instrs)
-	}
-	return s.stats(), nil
+	return s.Finalize()
 }
 
 func (s *Sim) stats() Stats {

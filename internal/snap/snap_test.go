@@ -1,0 +1,162 @@
+package snap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(0x1234)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.Int(-7)
+	w.String("hello")
+	w.Bytes32([]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xab {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := r.U16(); got != 0x1234 {
+		t.Fatalf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes32 = %v", got)
+	}
+	if err := r.Close("test"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobBounds(t *testing.T) {
+	w := NewWriter()
+	w.Blob(func(w *Writer) { w.U32(7) })
+	w.U32(99)
+	r := NewReader(w.Bytes())
+	b := r.Blob()
+	if got := b.U32(); got != 7 {
+		t.Fatalf("blob U32 = %d", got)
+	}
+	// Reads past the blob's end must fail inside the blob, not leak
+	// into the parent stream.
+	if b.U32(); b.Err() == nil {
+		t.Fatal("read past blob end did not error")
+	}
+	if got := r.U32(); got != 99 || r.Err() != nil {
+		t.Fatalf("parent stream desynchronized: %d, %v", got, r.Err())
+	}
+}
+
+func TestZBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]byte{
+		nil,
+		make([]byte, 1000),            // all zero
+		bytes.Repeat([]byte{7}, 1000), // no zeros
+		append(append(make([]byte, 500), 1, 2, 3), make([]byte, 500)...),
+	}
+	for i := 0; i < 20; i++ {
+		b := make([]byte, rng.Intn(4096))
+		for j := range b {
+			if rng.Intn(4) == 0 {
+				b[j] = byte(rng.Intn(256))
+			}
+		}
+		cases = append(cases, b)
+	}
+	for i, data := range cases {
+		w := NewWriter()
+		w.ZBytes(data)
+		r := NewReader(w.Bytes())
+		got := r.ZBytes()
+		if r.Err() != nil {
+			t.Fatalf("case %d: %v", i, r.Err())
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("case %d: round trip mismatch (%d vs %d bytes)", i, len(got), len(data))
+		}
+		// Canonical: re-encoding the decoded data is byte-identical.
+		w2 := NewWriter()
+		w2.ZBytes(got)
+		if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+			t.Fatalf("case %d: re-encode differs", i)
+		}
+	}
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	w := NewWriter()
+	w.U32(Magic)
+	w.Version(1)
+	w.String("component")
+	w.Blob(func(w *Writer) {
+		w.U64(12345)
+		w.ZBytes(make([]byte, 300))
+	})
+	full := w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		r.U32()
+		r.Version("t", 1)
+		_ = r.String()
+		b := r.Blob()
+		b.U64()
+		b.ZBytes()
+		if r.Err() == nil && b.Err() == nil && b.Close("t") == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded cleanly", n, len(full))
+		}
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	w := NewWriter()
+	w.Version(2)
+	r := NewReader(w.Bytes())
+	r.Version("comp", 1)
+	if r.Err() == nil {
+		t.Fatal("version skew not detected")
+	}
+}
+
+func TestBoolRejectsGarbage(t *testing.T) {
+	r := NewReader([]byte{7})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("Bool accepted byte 7")
+	}
+}
+
+func TestCloseDetectsTrailingBytes(t *testing.T) {
+	w := NewWriter()
+	w.U32(1)
+	w.U32(2)
+	r := NewReader(w.Bytes())
+	r.U32()
+	if err := r.Close("t"); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
