@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/batch"
@@ -110,6 +112,23 @@ func run() int {
 		r.Log = os.Stderr
 	}
 
+	// A first SIGINT/SIGTERM aborts the batch gracefully: in-progress
+	// jobs flush a final checkpoint and the partial manifest is still
+	// written, so rerunning with the same -checkpoint-dir resumes. A
+	// second signal kills the process immediately.
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "osmbatch: interrupted; flushing checkpoints and writing manifest (interrupt again to kill)")
+		close(interrupt)
+		<-sigCh
+		os.Exit(130)
+	}()
+	r.Interrupt = interrupt
+
 	start := time.Now()
 	m := r.Run(jobs)
 	if !*quiet {
@@ -126,6 +145,11 @@ func run() int {
 		os.Stdout.Write(data)
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return fail(err)
+	}
+	select {
+	case <-interrupt:
+		return 130
+	default:
 	}
 	if m.Failed() > 0 {
 		return 1

@@ -1,0 +1,99 @@
+// Osmserve is the simulation service: it hosts concurrent interactive
+// simulation sessions — each a cycle-accurate OSM model pinned behind
+// its own mutex — over an HTTP/JSON API with admission control,
+// idle-session eviction and live observability.
+//
+// Usage:
+//
+//	osmserve -addr :8080
+//	osmserve -addr :8080 -max-sessions 128 -idle-timeout 10m
+//
+// A quick session from the shell:
+//
+//	curl -s localhost:8080/v1/sessions -d '{"target":"strongarm","workload":"gsm/dec","n":60}'
+//	curl -s localhost:8080/v1/sessions/s-000001/step -d '{"cycles":100000}'
+//	curl -s localhost:8080/v1/sessions/s-000001/registers
+//	curl -s -o state.snap localhost:8080/v1/sessions/s-000001/snapshot
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain gracefully: new sessions are refused, in-flight
+// requests finish (bounded by -drain-timeout), remaining sessions are
+// evicted, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxSessions  = flag.Int("max-sessions", 64, "admission control: maximum resident sessions")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "evict sessions unused for this long")
+		maxStep      = flag.Uint64("max-step-cycles", 50_000_000, "cap on cycles per step request")
+		stepDeadline = flag.Duration("step-deadline", 10*time.Second, "default per-step-request deadline")
+		traceLimit   = flag.Int("trace-limit", 4096, "default per-session trace retention (events)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "shutdown: how long in-flight requests may finish")
+		quiet        = flag.Bool("quiet", false, "suppress per-event log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "osmserve: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxSessions:         *maxSessions,
+		IdleTimeout:         *idleTimeout,
+		MaxStepCycles:       *maxStep,
+		DefaultStepDeadline: *stepDeadline,
+		TraceLimit:          *traceLimit,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	mgr := server.NewManager(cfg)
+	mgr.Start()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mgr.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (max %d sessions, idle timeout %v)", *addr, *maxSessions, *idleTimeout)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%v: draining (%v for in-flight requests)", sig, *drainTimeout)
+		mgr.Drain() // refuse new sessions while in-flight work completes
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		mgr.Close()
+		if err != nil {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("drained cleanly")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "osmserve:", err)
+			os.Exit(1)
+		}
+	}
+}

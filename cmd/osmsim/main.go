@@ -8,29 +8,24 @@
 //	osmsim -target strongarm -workload gsm/enc -n 500
 //	osmsim -target ppc750 -src prog.s
 //	osmsim -target arm-iss -image prog.bin
+//	osmsim -target ppc750 -workload mpeg2/dec -json
 //
 // Targets: strongarm (OSM model), sscalar (hand-coded baseline),
 // ppc750 (OSM model), hwcentric (SystemC-style baseline), arm-iss and
-// ppc-iss (functional simulation only).
+// ppc-iss (functional simulation only). Exactly one of -workload,
+// -src and -image must be given. The construction and reporting logic
+// lives in internal/runner, shared with osmbatch and osmserve.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 	"time"
 
-	"repro/internal/baseline/hwcentric"
-	"repro/internal/baseline/sscalar"
-	"repro/internal/isa/arm"
-	"repro/internal/isa/ppc"
-	"repro/internal/iss"
-	"repro/internal/loader"
-	"repro/internal/mem"
-	"repro/internal/sim/ppc750"
-	"repro/internal/sim/strongarm"
-	"repro/internal/workload"
+	"repro/internal/runner"
 )
 
 var (
@@ -42,214 +37,80 @@ var (
 	maxCycles = flag.Uint64("cycles", 1_000_000_000, "cycle budget")
 	perfect   = flag.Bool("perfect", false, "disable caches and TLBs")
 	trace     = flag.Bool("trace", false, "print every executed instruction")
+	jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "osmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func isARM() bool {
-	switch *target {
-	case "strongarm", "sscalar", "arm-iss":
-		return true
+// buildSpec resolves the flag set into a runner.Spec, rejecting
+// ambiguous program-source combinations up front (before any file is
+// read) so the user sees one clear line instead of a silent
+// preference.
+func buildSpec(target, wlName string, iters int, srcPath, imagePath string, maxCycles uint64, perfect bool) (runner.Spec, error) {
+	spec := runner.Spec{
+		Target:    target,
+		Workload:  wlName,
+		N:         iters,
+		MaxCycles: maxCycles,
+		Perfect:   perfect,
 	}
-	return false
+	// Stand-ins so Validate sees which sources were selected without
+	// touching the filesystem yet.
+	if srcPath != "" {
+		spec.Src = srcPath
+	}
+	if imagePath != "" {
+		spec.Image = []byte{0}
+	}
+	if err := spec.Validate(); err != nil {
+		return runner.Spec{}, err
+	}
+	if srcPath != "" {
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return runner.Spec{}, err
+		}
+		spec.Src = string(src)
+	}
+	if imagePath != "" {
+		data, err := os.ReadFile(imagePath)
+		if err != nil {
+			return runner.Spec{}, err
+		}
+		spec.Image = data
+	}
+	return spec, nil
 }
 
-// programs loads/assembles the requested program for the target ISA.
-func programs() (*arm.Program, *ppc.Program, error) {
-	switch {
-	case *wlName != "":
-		w := workload.ByName(*wlName)
-		if w == nil {
-			return nil, nil, fmt.Errorf("unknown workload %q", *wlName)
-		}
-		n := *iters
-		if n == 0 {
-			n = w.DefaultN
-		}
-		if isARM() {
-			p, err := w.ARMProgram(n)
-			return p, nil, err
-		}
-		p, err := w.PPCProgram(n)
-		return nil, p, err
-	case *srcPath != "":
-		src, err := os.ReadFile(*srcPath)
-		if err != nil {
-			return nil, nil, err
-		}
-		if isARM() {
-			p, err := arm.Assemble(string(src))
-			return p, nil, err
-		}
-		p, err := ppc.Assemble(string(src))
-		return nil, p, err
-	case *imagePath != "":
-		data, err := os.ReadFile(*imagePath)
-		if err != nil {
-			return nil, nil, err
-		}
-		im, err := loader.Unmarshal(data)
-		if err != nil {
-			return nil, nil, err
-		}
-		switch {
-		case im.Arch == loader.ArchARM && isARM():
-			return &arm.Program{Org: im.Org, Entry: im.Entry, Words: im.Words}, nil, nil
-		case im.Arch == loader.ArchPPC && !isARM():
-			return nil, &ppc.Program{Org: im.Org, Entry: im.Entry, Words: im.Words}, nil
-		}
-		return nil, nil, fmt.Errorf("image architecture %s does not match target %s", im.Arch, *target)
-	}
-	return nil, nil, fmt.Errorf("one of -workload, -src or -image is required")
-}
-
-func hier() mem.HierarchyConfig {
-	if *perfect {
-		return mem.HierarchyConfig{DisableCaches: true, DisableTLBs: true}
-	}
-	return mem.HierarchyConfig{}
-}
-
-func run() error {
-	armProg, ppcProg, err := programs()
+func run(w io.Writer) error {
+	spec, err := buildSpec(*target, *wlName, *iters, *srcPath, *imagePath, *maxCycles, *perfect)
 	if err != nil {
 		return err
 	}
+	opts := runner.RunOptions{}
+	if *trace {
+		opts.Trace = os.Stdout
+	}
+	if spec.Target == "arm-iss" || spec.Target == "ppc-iss" {
+		opts.Out = os.Stdout
+	}
 	start := time.Now()
-	switch *target {
-	case "strongarm":
-		s, err := strongarm.New(armProg, strongarm.Config{Hier: hier()})
-		if err != nil {
-			return err
-		}
-		if *trace {
-			s.ISS.Trace = armTracer()
-		}
-		st, err := s.Run(*maxCycles)
-		if err != nil {
-			return err
-		}
-		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
-			"CPI":       fmt.Sprintf("%.3f", st.CPI()),
-			"redirects": fmt.Sprint(st.Redirects),
-			"icache":    cacheLine(st.ICache),
-			"dcache":    cacheLine(st.DCache),
-		})
-	case "sscalar":
-		s, err := sscalar.New(armProg, sscalar.Config{Hier: hier()})
-		if err != nil {
-			return err
-		}
-		st, err := s.Run(*maxCycles)
-		if err != nil {
-			return err
-		}
-		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
-			"CPI": fmt.Sprintf("%.3f", st.CPI()),
-		})
-	case "ppc750":
-		s, err := ppc750.New(ppcProg, ppc750.Config{Hier: hier()})
-		if err != nil {
-			return err
-		}
-		if *trace {
-			s.ISS.Trace = ppcTracer()
-		}
-		st, err := s.Run(*maxCycles)
-		if err != nil {
-			return err
-		}
-		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
-			"IPC":         fmt.Sprintf("%.3f", st.IPC()),
-			"mispredicts": fmt.Sprint(st.Mispredicts),
-			"bht":         fmt.Sprintf("%.1f%%", 100*st.BHTAccuracy),
-			"icache":      cacheLine(st.ICache),
-			"dcache":      cacheLine(st.DCache),
-		})
-	case "hwcentric":
-		s, err := hwcentric.New(ppcProg, hwcentric.Config{Hier: hier()})
-		if err != nil {
-			return err
-		}
-		st, err := s.Run(*maxCycles)
-		if err != nil {
-			return err
-		}
-		report(start, st.Cycles, st.Instrs, s.ISS.Reported, map[string]string{
-			"CPI":   fmt.Sprintf("%.3f", st.CPI()),
-			"wires": fmt.Sprint(st.Wires),
-			"evals": fmt.Sprint(st.ModuleEvals),
-		})
-	case "arm-iss":
-		s, err := iss.NewARM(armProg, 1024)
-		if err != nil {
-			return err
-		}
-		s.Out = os.Stdout
-		if *trace {
-			s.Trace = armTracer()
-		}
-		if err := s.Run(*maxCycles); err != nil {
-			return err
-		}
-		report(start, 0, s.Stats.Instrs, s.Reported, nil)
-	case "ppc-iss":
-		s, err := iss.NewPPC(ppcProg, 1024)
-		if err != nil {
-			return err
-		}
-		s.Out = os.Stdout
-		if *trace {
-			s.Trace = ppcTracer()
-		}
-		if err := s.Run(*maxCycles); err != nil {
-			return err
-		}
-		report(start, 0, s.Stats.Instrs, s.Reported, nil)
-	default:
-		return fmt.Errorf("unknown target %q", *target)
+	res, err := runner.Run(spec, opts)
+	if err != nil {
+		return err
 	}
+	res.WallNS = time.Since(start).Nanoseconds()
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&res)
+	}
+	res.Report(w)
 	return nil
-}
-
-func armTracer() func(pc uint32, ins arm.Instr) {
-	return func(pc uint32, ins arm.Instr) {
-		fmt.Printf("%08x:  %s\n", pc, ins.String())
-	}
-}
-
-func ppcTracer() func(pc uint32, ins ppc.Instr) {
-	return func(pc uint32, ins ppc.Instr) {
-		fmt.Printf("%08x:  %s\n", pc, ins.String())
-	}
-}
-
-func cacheLine(s mem.CacheStats) string {
-	return fmt.Sprintf("%d acc, %.2f%% hit", s.Accesses, 100*s.HitRate())
-}
-
-func report(start time.Time, cycles, instrs uint64, reported []uint32, extra map[string]string) {
-	wall := time.Since(start)
-	fmt.Printf("instructions: %d\n", instrs)
-	if cycles > 0 {
-		fmt.Printf("cycles:       %d\n", cycles)
-		fmt.Printf("speed:        %.0f cycles/sec\n", float64(cycles)/wall.Seconds())
-	}
-	fmt.Printf("wall time:    %s\n", wall.Round(time.Microsecond))
-	if len(reported) > 0 {
-		vals := make([]string, len(reported))
-		for i, v := range reported {
-			vals[i] = fmt.Sprintf("%#x", v)
-		}
-		fmt.Printf("reported:     %s\n", strings.Join(vals, " "))
-	}
-	for k, v := range extra {
-		fmt.Printf("%-13s %s\n", k+":", v)
-	}
 }

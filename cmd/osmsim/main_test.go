@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// Ambiguous program-source combinations must be rejected with a
+// single clear error naming the offenders, not silently resolved by
+// precedence.
+func TestBuildSpecRejectsAmbiguousSources(t *testing.T) {
+	cases := []struct {
+		name             string
+		wl, src, image   string
+		wantErrFragments []string
+	}{
+		{"workload+src", "gsm/dec", "prog.s", "", []string{"ambiguous", "workload", "src"}},
+		{"workload+image", "gsm/dec", "", "prog.bin", []string{"ambiguous", "workload", "image"}},
+		{"src+image", "", "prog.s", "prog.bin", []string{"ambiguous", "src", "image"}},
+		{"all three", "gsm/dec", "prog.s", "prog.bin", []string{"ambiguous", "workload", "src", "image"}},
+		{"none", "", "", "", []string{"exactly one"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildSpec("strongarm", tc.wl, 0, tc.src, tc.image, 0, false)
+			if err == nil {
+				t.Fatalf("buildSpec accepted %s", tc.name)
+			}
+			msg := err.Error()
+			if strings.Contains(msg, "\n") {
+				t.Fatalf("error is not a single line: %q", msg)
+			}
+			for _, frag := range tc.wantErrFragments {
+				if !strings.Contains(msg, frag) {
+					t.Fatalf("error %q does not mention %q", msg, frag)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildSpecUnknownTarget(t *testing.T) {
+	_, err := buildSpec("vax", "gsm/dec", 0, "", "", 0, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown target") {
+		t.Fatalf("want unknown-target error, got %v", err)
+	}
+}
+
+// The ambiguity check must fire before any file I/O: a nonexistent
+// -src path plus a -workload reports the ambiguity, not the missing
+// file.
+func TestBuildSpecAmbiguityBeforeIO(t *testing.T) {
+	_, err := buildSpec("strongarm", "gsm/dec", 0, "/does/not/exist.s", "", 0, false)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("want ambiguity error before file read, got %v", err)
+	}
+}
+
+// -json output round-trips through the shared runner.Result struct.
+func TestRunJSON(t *testing.T) {
+	*target = "strongarm"
+	*wlName = "dsp/fir"
+	*iters = 20
+	*jsonOut = true
+	defer func() {
+		*target, *wlName, *iters, *jsonOut = "strongarm", "", 0, false
+	}()
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var res runner.Result
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if res.Target != "strongarm" || res.Arch != "arm" {
+		t.Fatalf("unexpected identity in %+v", res)
+	}
+	if res.Cycles == 0 || res.Instrs == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Extra["CPI"] == "" {
+		t.Fatalf("missing CPI extra: %+v", res.Extra)
+	}
+}

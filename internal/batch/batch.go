@@ -58,10 +58,11 @@ func (j *Job) fill() {
 
 // Job statuses.
 const (
-	StatusOK       = "ok"
-	StatusError    = "error"
-	StatusPanic    = "panic"
-	StatusDeadline = "deadline"
+	StatusOK          = "ok"
+	StatusError       = "error"
+	StatusPanic       = "panic"
+	StatusDeadline    = "deadline"
+	StatusInterrupted = "interrupted"
 )
 
 // Result reports one finished (or failed) job.
@@ -109,8 +110,27 @@ type Runner struct {
 	CheckpointDir string
 	// Deadline bounds each job's wall-clock time (0 = none).
 	Deadline time.Duration
+	// Interrupt, if non-nil, aborts the batch when closed: queued
+	// jobs are not started, and each in-progress job flushes a final
+	// checkpoint (when CheckpointDir is set) and is recorded with
+	// StatusInterrupted, so a rerun with the same CheckpointDir
+	// resumes instead of losing the partial run.
+	Interrupt <-chan struct{}
 	// Log, if non-nil, receives per-job progress lines.
 	Log io.Writer
+}
+
+// interrupted reports whether the interrupt channel has been closed.
+func (r *Runner) interrupted() bool {
+	if r.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-r.Interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -196,8 +216,28 @@ func (r *Runner) Run(jobs []Job) Manifest {
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		idxCh <- i
+		if r.Interrupt == nil {
+			idxCh <- i
+			continue
+		}
+		select {
+		case <-r.Interrupt:
+			// Queued jobs are not started; record them so the
+			// manifest accounts for every job in the batch.
+			for k := i; k < len(jobs); k++ {
+				j := jobs[k]
+				j.fill()
+				results[k] = Result{
+					Job:    j,
+					Status: StatusInterrupted,
+					Error:  "interrupted before start",
+				}
+			}
+			break dispatch
+		case idxCh <- i:
+		}
 	}
 	close(idxCh)
 	wg.Wait()
@@ -260,6 +300,21 @@ func (r *Runner) runJob(j Job) (res Result) {
 		if r.Deadline > 0 && s.Cycle()%deadlineCheck == 0 && time.Since(start) > r.Deadline {
 			res.Status = StatusDeadline
 			res.Error = fmt.Sprintf("exceeded deadline %v at cycle %d", r.Deadline, s.Cycle())
+			return res
+		}
+		if s.Cycle()%deadlineCheck == 0 && r.interrupted() {
+			// Flush the partial run so a rerun resumes here instead
+			// of starting over.
+			if r.CheckpointDir != "" {
+				if err := r.writeCheckpoint(j, s); err != nil {
+					r.logf("job %s: interrupt checkpoint failed: %v", j.Name, err)
+				} else {
+					res.Checkpoints++
+				}
+			}
+			res.Status = StatusInterrupted
+			res.Error = fmt.Sprintf("interrupted at cycle %d", s.Cycle())
+			r.logf("job %s: %s", j.Name, res.Error)
 			return res
 		}
 		if err := s.StepCycle(); err != nil {

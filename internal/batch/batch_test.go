@@ -216,3 +216,74 @@ func TestMixJobs(t *testing.T) {
 		}
 	}
 }
+
+// A batch interrupted mid-run must flush a checkpoint for the job in
+// progress (so a rerun resumes it) and account for every queued job
+// in the manifest.
+func TestInterruptFlushesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	interrupt := make(chan struct{})
+	jobs := []Job{
+		{Arch: "arm", Workload: "gsm/dec", N: 20000},
+		{Arch: "ppc", Workload: "gsm/dec", N: 20000},
+	}
+	r := &Runner{Workers: 1, CheckpointDir: dir, Interrupt: interrupt}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(interrupt)
+	}()
+	m := r.Run(jobs)
+	if len(m.Results) != 2 {
+		t.Fatalf("manifest has %d results, want 2", len(m.Results))
+	}
+	first := m.Results[0]
+	if first.Status != StatusInterrupted {
+		t.Fatalf("in-progress job: status %q (%s), want %q", first.Status, first.Error, StatusInterrupted)
+	}
+	if first.Checkpoints == 0 {
+		t.Fatal("interrupt did not flush a checkpoint for the in-progress job")
+	}
+	if _, err := os.Stat(filepath.Join(dir, first.Job.Name+".ckpt")); err != nil {
+		t.Fatalf("flushed checkpoint file missing: %v", err)
+	}
+	// The flushed checkpoint must pass the identity check and carry a
+	// mid-run cycle, i.e. a rerun with the same directory resumes.
+	j := jobs[0]
+	j.fill()
+	blob, cycle, ok := r.loadCheckpoint(j)
+	if !ok {
+		t.Fatal("flushed checkpoint does not load for the same job identity")
+	}
+	if cycle == 0 || len(blob) == 0 {
+		t.Fatalf("flushed checkpoint is empty: cycle %d, %d bytes", cycle, len(blob))
+	}
+	second := m.Results[1]
+	if second.Status != StatusInterrupted {
+		t.Fatalf("queued job: status %q, want %q", second.Status, StatusInterrupted)
+	}
+	if second.Error != "interrupted before start" {
+		t.Fatalf("queued job error %q, want interrupted-before-start", second.Error)
+	}
+}
+
+// An interrupt raised before the batch starts still yields a complete
+// manifest: every job is recorded as interrupted, none crash or hang.
+func TestInterruptBeforeStart(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt)
+	m := (&Runner{Workers: 2, Interrupt: interrupt}).Run(smallJobs())
+	if len(m.Results) != len(smallJobs()) {
+		t.Fatalf("manifest has %d results, want %d", len(m.Results), len(smallJobs()))
+	}
+	for _, res := range m.Results {
+		if res.Status != StatusInterrupted {
+			t.Fatalf("job %s: status %q, want %q", res.Job.Name, res.Status, StatusInterrupted)
+		}
+		if res.Job.Name == "" {
+			t.Fatal("interrupted job left without a derived name")
+		}
+	}
+	if m.Failed() != len(m.Results) {
+		t.Fatalf("Failed() = %d, want %d", m.Failed(), len(m.Results))
+	}
+}

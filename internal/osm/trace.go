@@ -26,16 +26,21 @@ type Recorder struct {
 	firstStep  uint64
 	lastStep   uint64
 	any        bool
+	total      uint64
+	sum        uint64
 }
 
-// Event is one recorded transition.
+// Event is one recorded transition. The JSON tags are the wire form
+// the HTTP trace stream uses.
 type Event struct {
 	// Step is the control step the transition committed in.
-	Step uint64
+	Step uint64 `json:"step"`
 	// Machine is the transitioning machine's name.
-	Machine string
+	Machine string `json:"machine"`
 	// Edge, From and To identify the transition.
-	Edge, From, To string
+	Edge string `json:"edge"`
+	From string `json:"from"`
+	To   string `json:"to"`
 }
 
 // NewRecorder returns an empty recorder.
@@ -58,6 +63,8 @@ func (r *Recorder) Transition(step uint64, m *Machine, e *Edge) {
 		Step: step, Machine: m.Name, Edge: e.Name,
 		From: e.From.Name, To: e.To.Name,
 	}
+	r.total++
+	r.sum = ev.hash(r.sum)
 	if r.Limit == 0 || len(r.events) < r.Limit {
 		r.events = append(r.events, ev)
 	} else {
@@ -84,6 +91,59 @@ func (r *Recorder) Events() []Event {
 	out = append(out, r.events[r.start:]...)
 	out = append(out, r.events[:r.start]...)
 	return out
+}
+
+// EventsSince returns the retained events with Step >= step, in
+// commit order — the incremental form a live trace consumer (such as
+// the HTTP trace stream) uses to pick up where it left off. Events
+// that fell out of a bounded ring are gone; compare Total against the
+// consumed count to detect the gap.
+func (r *Recorder) EventsSince(step uint64) []Event {
+	all := r.Events()
+	// The ring is in commit order, so steps are non-decreasing:
+	// binary-search the first index at or past step.
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if all[mid].Step < step {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return all[lo:]
+}
+
+// Total returns the number of transitions ever recorded, independent
+// of the retention Limit.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Checksum returns an order-dependent FNV-1a digest over every
+// transition ever recorded (independent of the retention Limit), so
+// two runs can be compared for trace identity without retaining their
+// full histories.
+func (r *Recorder) Checksum() uint64 { return r.sum }
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// hash folds the event into an FNV-1a running digest.
+func (ev *Event) hash(sum uint64) uint64 {
+	if sum == 0 {
+		sum = fnvOffset
+	}
+	for i := 0; i < 8; i++ {
+		sum = (sum ^ (ev.Step >> (8 * i) & 0xff)) * fnvPrime
+	}
+	for _, s := range [...]string{ev.Machine, ev.Edge, ev.From, ev.To} {
+		for i := 0; i < len(s); i++ {
+			sum = (sum ^ uint64(s[i])) * fnvPrime
+		}
+		sum = (sum ^ 0xff) * fnvPrime // field separator
+	}
+	return sum
 }
 
 // EdgeCount returns how many times the named edge committed.
@@ -141,4 +201,6 @@ func (r *Recorder) Reset() {
 	r.edgeCount = make(map[string]uint64)
 	r.stateEnter = make(map[string]uint64)
 	r.any = false
+	r.total = 0
+	r.sum = 0
 }

@@ -2,6 +2,7 @@ package osm
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -107,5 +108,151 @@ func TestRecorderLimitAndReset(t *testing.T) {
 	}
 	if rec.Utilization("F") != 0 {
 		t.Fatal("utilization of an empty recording must be 0")
+	}
+	if rec.Total() != 0 || rec.Checksum() != 0 {
+		t.Fatal("Reset must clear the running digest")
+	}
+}
+
+// The ring must stay consistent through many full wraparounds, and
+// the running checksum/total must be limit-independent: a Limit-3
+// recorder and an unbounded one fed the same run agree on Checksum
+// and Total even though their retained histories differ.
+func TestRecorderRingWraparoundAndChecksum(t *testing.T) {
+	run := func(limit int, steps int) *Recorder {
+		d, _, _ := twoStage(1)
+		rec := NewRecorder()
+		rec.Limit = limit
+		d.Tracer = rec
+		for i := 0; i < steps; i++ {
+			if err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rec
+	}
+	const steps = 100 // 100 transitions -> 33+ wraps at Limit 3
+	bounded := run(3, steps)
+	full := run(0, steps)
+
+	if bounded.Total() != uint64(steps) || full.Total() != uint64(steps) {
+		t.Fatalf("totals: bounded %d, full %d, want %d", bounded.Total(), full.Total(), steps)
+	}
+	if bounded.Checksum() == 0 {
+		t.Fatal("checksum of a nonempty recording must be nonzero")
+	}
+	if bounded.Checksum() != full.Checksum() {
+		t.Fatalf("checksum depends on Limit: %#x vs %#x", bounded.Checksum(), full.Checksum())
+	}
+	evs := bounded.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(steps - 3 + i); ev.Step != want {
+			t.Fatalf("event %d from step %d, want %d", i, ev.Step, want)
+		}
+	}
+	// A different-length run must not collide (order/content dependent).
+	if run(0, steps-1).Checksum() == full.Checksum() {
+		t.Fatal("checksums of different traces collide")
+	}
+}
+
+func TestRecorderEventsSince(t *testing.T) {
+	d, _, _ := twoStage(1)
+	rec := NewRecorder()
+	rec.Limit = 8
+	d.Tracer = rec
+	for i := 0; i < 20; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retained window is steps 12..19.
+	if got := rec.EventsSince(0); len(got) != 8 {
+		t.Fatalf("EventsSince(0) = %d events, want the full window of 8", len(got))
+	}
+	got := rec.EventsSince(17)
+	if len(got) != 3 {
+		t.Fatalf("EventsSince(17) = %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if want := uint64(17 + i); ev.Step != want {
+			t.Fatalf("event %d from step %d, want %d", i, ev.Step, want)
+		}
+	}
+	if got := rec.EventsSince(100); len(got) != 0 {
+		t.Fatalf("EventsSince(future) = %d events, want 0", len(got))
+	}
+}
+
+// The server streams from a live bounded Recorder chained in front of
+// another Tracer while other goroutines read it, all serialized by a
+// per-session mutex. This test exercises exactly that access pattern
+// under the race detector: one writer stepping the director, several
+// readers snapshotting Events/EventsSince/Checksum, lock shared.
+func TestRecorderConcurrentReadersChained(t *testing.T) {
+	d, _, _ := twoStage(1)
+	rec := NewRecorder()
+	rec.Limit = 4
+	var chainMu sync.Mutex
+	chainSeen := 0
+	rec.Next = TracerFunc(func(step uint64, m *Machine, e *Edge) {
+		chainMu.Lock()
+		chainSeen++
+		chainMu.Unlock()
+	})
+	d.Tracer = rec
+
+	var mu sync.Mutex // the session lock
+	const steps = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				evs := rec.EventsSince(0)
+				if len(evs) > 4 {
+					t.Errorf("window exceeds limit: %d", len(evs))
+				}
+				last := uint64(0)
+				for _, ev := range evs {
+					if ev.Step < last {
+						t.Errorf("events out of order: %d after %d", ev.Step, last)
+					}
+					last = ev.Step
+				}
+				_ = rec.Checksum()
+				_ = rec.Total()
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < steps; i++ {
+		mu.Lock()
+		if err := d.Step(); err != nil {
+			mu.Unlock()
+			t.Fatal(err)
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	if rec.Total() != steps {
+		t.Fatalf("recorded %d transitions, want %d", rec.Total(), steps)
+	}
+	chainMu.Lock()
+	defer chainMu.Unlock()
+	if chainSeen != steps {
+		t.Fatalf("chained tracer saw %d transitions, want %d", chainSeen, steps)
 	}
 }

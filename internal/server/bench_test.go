@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// benchSpec is a workload long enough never to finish during a
+// benchmark run.
+func benchSpec() runner.Spec {
+	return runner.Spec{Target: "strongarm", Workload: "gsm/dec", N: 10_000_000}
+}
+
+// BenchmarkHTTPStep measures one step request end to end — HTTP
+// round-trip, session lock, simulation, JSON response — for several
+// chunk sizes. chunk=1 is the per-request overhead floor; large
+// chunks show where simulation dominates.
+func BenchmarkHTTPStep(b *testing.B) {
+	for _, chunk := range []uint64{1, 100, 10_000} {
+		b.Run(fmt.Sprintf("cycles=%d", chunk), func(b *testing.B) {
+			_, cl, done := newTestServer(b, Config{IdleTimeout: -1})
+			defer done()
+			info := cl.create(benchSpec())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.step(info.ID, chunk)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkHTTPSessions measures aggregate simulation throughput with
+// K concurrent sessions each driven by its own client goroutine
+// (5000-cycle step requests) — the sessions-per-core scaling curve.
+func BenchmarkHTTPSessions(b *testing.B) {
+	const chunk = 5000
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			_, cl, done := newTestServer(b, Config{IdleTimeout: -1})
+			defer done()
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = cl.create(benchSpec()).ID
+			}
+			reqs := b.N/n + 1
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for _, id := range ids {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					for i := 0; i < reqs; i++ {
+						cl.step(id, chunk)
+					}
+				}(id)
+			}
+			wg.Wait()
+			b.StopTimer()
+			total := float64(chunk) * float64(reqs) * float64(n)
+			b.ReportMetric(total/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// stepLatencyBuckets are the step-latency histogram upper bounds in
+// seconds.
+var stepLatencyBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative style (each bucket counts observations <= its bound).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last slot is +Inf
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over the given upper bounds
+// (ascending, in seconds).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// write renders the histogram in the text exposition format.
+func (h *Histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// Metrics is the service's hand-rolled Prometheus instrumentation:
+// atomic counters, a live-sessions gauge closure and a fixed-bucket
+// step-latency histogram, rendered by WriteTo in the text exposition
+// format. No client library — the stdlib-only constraint is part of
+// the design.
+type Metrics struct {
+	SessionsCreated  atomic.Uint64
+	SessionsRejected atomic.Uint64 // admission-control 429s
+	EvictedAPI       atomic.Uint64 // DELETE
+	EvictedIdle      atomic.Uint64 // janitor
+	EvictedDrain     atomic.Uint64 // shutdown drain
+	Cycles           atomic.Uint64 // cycles simulated by step requests
+	StepRequests     atomic.Uint64
+	Panics           atomic.Uint64 // requests that panicked (isolated)
+	SnapshotBytesOut atomic.Uint64 // snapshot downloads
+	SnapshotBytesIn  atomic.Uint64 // restore uploads
+	HTTPRequests     atomic.Uint64
+
+	// Live reports the current number of live sessions, read at
+	// scrape time.
+	Live func() int
+
+	StepLatency *Histogram
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{StepLatency: NewHistogram(stepLatencyBuckets)}
+}
+
+// Evicted returns the total evictions across reasons.
+func (m *Metrics) Evicted() uint64 {
+	return m.EvictedAPI.Load() + m.EvictedIdle.Load() + m.EvictedDrain.Load()
+}
+
+// Render writes every metric in the Prometheus text exposition
+// format.
+func (m *Metrics) Render(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	live := 0
+	if m.Live != nil {
+		live = m.Live()
+	}
+	fmt.Fprintf(w, "# HELP osmserve_sessions_live Sessions currently resident.\n")
+	fmt.Fprintf(w, "# TYPE osmserve_sessions_live gauge\nosmserve_sessions_live %d\n", live)
+
+	counter("osmserve_sessions_created_total", "Sessions admitted and created.", m.SessionsCreated.Load())
+	counter("osmserve_sessions_rejected_total", "Session creations refused by admission control.", m.SessionsRejected.Load())
+
+	fmt.Fprintf(w, "# HELP osmserve_sessions_evicted_total Sessions removed, by reason.\n")
+	fmt.Fprintf(w, "# TYPE osmserve_sessions_evicted_total counter\n")
+	fmt.Fprintf(w, "osmserve_sessions_evicted_total{reason=\"api\"} %d\n", m.EvictedAPI.Load())
+	fmt.Fprintf(w, "osmserve_sessions_evicted_total{reason=\"idle\"} %d\n", m.EvictedIdle.Load())
+	fmt.Fprintf(w, "osmserve_sessions_evicted_total{reason=\"drain\"} %d\n", m.EvictedDrain.Load())
+
+	counter("osmserve_cycles_simulated_total", "Clock cycles simulated by step requests.", m.Cycles.Load())
+	counter("osmserve_step_requests_total", "Step requests served.", m.StepRequests.Load())
+	counter("osmserve_request_panics_total", "Requests that panicked and were isolated.", m.Panics.Load())
+
+	fmt.Fprintf(w, "# HELP osmserve_snapshot_bytes_total Snapshot bytes transferred, by direction.\n")
+	fmt.Fprintf(w, "# TYPE osmserve_snapshot_bytes_total counter\n")
+	fmt.Fprintf(w, "osmserve_snapshot_bytes_total{dir=\"download\"} %d\n", m.SnapshotBytesOut.Load())
+	fmt.Fprintf(w, "osmserve_snapshot_bytes_total{dir=\"upload\"} %d\n", m.SnapshotBytesIn.Load())
+
+	counter("osmserve_http_requests_total", "HTTP requests received.", m.HTTPRequests.Load())
+
+	fmt.Fprintf(w, "# HELP osmserve_step_latency_seconds Step request service latency.\n")
+	fmt.Fprintf(w, "# TYPE osmserve_step_latency_seconds histogram\n")
+	m.StepLatency.write(w, "osmserve_step_latency_seconds")
+}

@@ -1,0 +1,671 @@
+// Package server is the simulation-as-a-service layer: a concurrent
+// session manager exposing the framework's cycle-accurate models over
+// HTTP/JSON. A session wraps one runner.Instance behind its own mutex
+// with a strict lifecycle (created → running ⇄ paused → done, or
+// broken, and finally evicted); the manager bounds the session table
+// (admission control with 429 backpressure), evicts idle sessions,
+// and drains gracefully on shutdown. Observability is first-class:
+// hand-rolled Prometheus-text /metrics, /healthz and /debug/pprof.
+// It is the library behind cmd/osmserve.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/osm"
+	"repro/internal/runner"
+	"repro/internal/snap"
+)
+
+// State is a session lifecycle state.
+type State string
+
+// The session lifecycle. Created moves to Running on the first step
+// request; Running returns to Paused when the request completes and
+// to Done when the program finishes; a simulation error or an
+// isolated panic moves to Broken; eviction (API, idle timeout or
+// drain) is terminal and removes the session from the table.
+const (
+	StateCreated State = "created"
+	StateRunning State = "running"
+	StatePaused  State = "paused"
+	StateDone    State = "done"
+	StateBroken  State = "broken"
+	StateEvicted State = "evicted"
+)
+
+// Config parameterizes a Manager. Zero values select the defaults.
+type Config struct {
+	// MaxSessions bounds the session table; creations beyond it are
+	// rejected with 429 (default 64).
+	MaxSessions int
+	// IdleTimeout evicts sessions unused for this long (default 5m;
+	// negative disables idle eviction).
+	IdleTimeout time.Duration
+	// MaxStepCycles caps the cycles of a single step request
+	// (default 50M).
+	MaxStepCycles uint64
+	// MaxStepDeadline caps a step request's deadline (default 30s).
+	MaxStepDeadline time.Duration
+	// DefaultStepDeadline applies when a step request names none
+	// (default 10s).
+	DefaultStepDeadline time.Duration
+	// TraceLimit is the default Recorder retention per session
+	// (default 4096 events; sessions may override at creation).
+	TraceLimit int
+	// MaxMemRead caps a single memory-peek request (default 1 MiB).
+	MaxMemRead uint32
+	// Logf, if non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.MaxStepCycles == 0 {
+		c.MaxStepCycles = 50_000_000
+	}
+	if c.MaxStepDeadline == 0 {
+		c.MaxStepDeadline = 30 * time.Second
+	}
+	if c.DefaultStepDeadline == 0 {
+		c.DefaultStepDeadline = 10 * time.Second
+	}
+	if c.TraceLimit == 0 {
+		c.TraceLimit = 4096
+	}
+	if c.MaxMemRead == 0 {
+		c.MaxMemRead = 1 << 20
+	}
+}
+
+// Session is one simulation pinned behind its own mutex. The mutex
+// serializes simulator access (step, peek, snapshot, restore); the
+// metadata mirror below it is updated after every operation so list
+// and info requests never block behind a long step.
+type Session struct {
+	ID   string
+	Spec runner.Spec
+
+	mu   sync.Mutex
+	inst *runner.Instance
+	rec  *osm.Recorder
+
+	meta struct {
+		sync.Mutex
+		state         State
+		created       time.Time
+		lastUsed      time.Time
+		cycle         uint64
+		cyclesStepped uint64
+		done          bool
+		traceTotal    uint64
+		traceSum      uint64
+		errMsg        string
+		result        *runner.Result
+	}
+}
+
+// syncMeta mirrors the simulator-side observables into the metadata
+// block. Callers hold s.mu.
+func (s *Session) syncMeta(state State) {
+	cycle := s.inst.Cycle()
+	done := s.inst.Done()
+	total := s.rec.Total()
+	sum := s.rec.Checksum()
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	if s.meta.state == StateEvicted {
+		return // eviction is terminal
+	}
+	s.meta.state = state
+	s.meta.cycle = cycle
+	s.meta.done = done
+	s.meta.traceTotal = total
+	s.meta.traceSum = sum
+	s.meta.lastUsed = time.Now()
+}
+
+// Info is the JSON session summary.
+type Info struct {
+	ID            string         `json:"id"`
+	State         State          `json:"state"`
+	Target        string         `json:"target"`
+	Workload      string         `json:"workload,omitempty"`
+	Arch          string         `json:"arch"`
+	Cycle         uint64         `json:"cycle"`
+	CyclesStepped uint64         `json:"cycles_stepped"`
+	Done          bool           `json:"done"`
+	TraceTotal    uint64         `json:"trace_total"`
+	TraceChecksum string         `json:"trace_checksum"`
+	CreatedAt     time.Time      `json:"created_at"`
+	LastUsed      time.Time      `json:"last_used"`
+	Error         string         `json:"error,omitempty"`
+	Result        *runner.Result `json:"result,omitempty"`
+}
+
+// info snapshots the metadata mirror.
+func (s *Session) info(arch string) Info {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	return Info{
+		ID:            s.ID,
+		State:         s.meta.state,
+		Target:        s.Spec.Target,
+		Workload:      s.Spec.Workload,
+		Arch:          arch,
+		Cycle:         s.meta.cycle,
+		CyclesStepped: s.meta.cyclesStepped,
+		Done:          s.meta.done,
+		TraceTotal:    s.meta.traceTotal,
+		TraceChecksum: fmt.Sprintf("%016x", s.meta.traceSum),
+		CreatedAt:     s.meta.created,
+		LastUsed:      s.meta.lastUsed,
+		Error:         s.meta.errMsg,
+		Result:        s.meta.result,
+	}
+}
+
+// Errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrBackpressure reports a full session table (HTTP 429).
+	ErrBackpressure = errors.New("session table full, retry later")
+	// ErrDraining reports a server shutting down (HTTP 503).
+	ErrDraining = errors.New("server is draining")
+	// ErrNotFound reports an unknown or evicted session (HTTP 404).
+	ErrNotFound = errors.New("no such session")
+	// ErrConflict reports an operation invalid in the session's
+	// current state (HTTP 409).
+	ErrConflict = errors.New("operation invalid in this session state")
+)
+
+// Manager owns the bounded session table.
+type Manager struct {
+	cfg     Config
+	Metrics *Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	reserved int // admissions granted but not yet inserted
+	nextID   uint64
+	draining bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewManager returns a manager with an empty session table. Call
+// Start to enable idle eviction and Close to drain.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{
+		cfg:      cfg,
+		Metrics:  NewMetrics(),
+		sessions: make(map[string]*Session),
+	}
+	m.Metrics.Live = m.LiveCount
+	return m
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// LiveCount returns the number of resident sessions.
+func (m *Manager) LiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Start launches the idle-eviction janitor. It is a no-op when idle
+// eviction is disabled.
+func (m *Manager) Start() {
+	if m.cfg.IdleTimeout <= 0 || m.janitorStop != nil {
+		return
+	}
+	m.janitorStop = make(chan struct{})
+	m.janitorDone = make(chan struct{})
+	interval := m.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		defer close(m.janitorDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.janitorStop:
+				return
+			case <-t.C:
+				m.evictIdle()
+			}
+		}
+	}()
+}
+
+// evictIdle removes sessions unused for longer than IdleTimeout.
+func (m *Manager) evictIdle() {
+	cutoff := time.Now().Add(-m.cfg.IdleTimeout)
+	m.mu.Lock()
+	var stale []*Session
+	for _, s := range m.sessions {
+		s.meta.Lock()
+		idle := s.meta.lastUsed.Before(cutoff)
+		s.meta.Unlock()
+		if idle {
+			stale = append(stale, s)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range stale {
+		if m.remove(s.ID, cutoff) {
+			m.Metrics.EvictedIdle.Add(1)
+			m.logf("session %s: evicted idle", s.ID)
+		}
+	}
+}
+
+// remove evicts the session if it is still resident and (when cutoff
+// is nonzero) still idle — a request may have slipped in since the
+// candidate scan.
+func (m *Manager) remove(id string, cutoff time.Time) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok && !cutoff.IsZero() {
+		s.meta.Lock()
+		if !s.meta.lastUsed.Before(cutoff) {
+			ok = false
+		}
+		s.meta.Unlock()
+	}
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if ok {
+		s.meta.Lock()
+		s.meta.state = StateEvicted
+		s.meta.Unlock()
+	}
+	return ok
+}
+
+// Drain stops admitting sessions. In-flight requests on existing
+// sessions continue; pair with http.Server.Shutdown and then Close.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// Close drains, stops the janitor and evicts every remaining session.
+func (m *Manager) Close() {
+	m.Drain()
+	if m.janitorStop != nil {
+		close(m.janitorStop)
+		<-m.janitorDone
+		m.janitorStop = nil
+	}
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	for _, id := range ids {
+		if m.remove(id, time.Time{}) {
+			m.Metrics.EvictedDrain.Add(1)
+		}
+	}
+}
+
+// Create admits and builds a new session. The admission slot is
+// reserved before the (comparatively slow) simulator construction so
+// concurrent creates cannot overshoot MaxSessions.
+func (m *Manager) Create(spec runner.Spec, traceLimit int) (*Session, error) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(m.sessions)+m.reserved >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		m.Metrics.SessionsRejected.Add(1)
+		return nil, ErrBackpressure
+	}
+	m.reserved++
+	m.nextID++
+	id := fmt.Sprintf("s-%06d", m.nextID)
+	m.mu.Unlock()
+
+	release := func() {
+		m.mu.Lock()
+		m.reserved--
+		m.mu.Unlock()
+	}
+
+	inst, err := runner.New(spec)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	rec := osm.NewRecorder()
+	rec.Limit = traceLimit
+	inst.Director().Tracer = rec
+
+	s := &Session{ID: id, Spec: inst.Spec(), inst: inst, rec: rec}
+	now := time.Now()
+	s.meta.state = StateCreated
+	s.meta.created = now
+	s.meta.lastUsed = now
+
+	m.mu.Lock()
+	m.reserved--
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.Metrics.SessionsCreated.Add(1)
+	m.logf("session %s: created (%s %s)", id, spec.Target, spec.Workload)
+	return s, nil
+}
+
+// Get returns the session by id.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Evict removes the session via the API.
+func (m *Manager) Evict(id string) error {
+	if !m.remove(id, time.Time{}) {
+		return ErrNotFound
+	}
+	m.Metrics.EvictedAPI.Add(1)
+	m.logf("session %s: evicted by request", id)
+	return nil
+}
+
+// List returns every resident session's info, sorted by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	infos := make([]Info, 0, len(ss))
+	for _, s := range ss {
+		infos = append(infos, s.info(s.inst.Arch()))
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// StepResult reports one step request.
+type StepResult struct {
+	Stepped          uint64         `json:"stepped"`
+	Cycle            uint64         `json:"cycle"`
+	Done             bool           `json:"done"`
+	State            State          `json:"state"`
+	DeadlineExceeded bool           `json:"deadline_exceeded,omitempty"`
+	Result           *runner.Result `json:"result,omitempty"`
+}
+
+// Step advances the session up to n cycles or until the program
+// completes or the deadline passes, whichever is first. It is the
+// only mutating sim operation with unbounded work, so the deadline is
+// rechecked every few thousand cycles.
+func (m *Manager) Step(s *Session, n uint64, deadline time.Duration) (StepResult, error) {
+	if n == 0 {
+		return StepResult{}, fmt.Errorf("%w: cycles must be >= 1", ErrConflict)
+	}
+	if n > m.cfg.MaxStepCycles {
+		n = m.cfg.MaxStepCycles
+	}
+	if deadline <= 0 {
+		deadline = m.cfg.DefaultStepDeadline
+	}
+	if deadline > m.cfg.MaxStepDeadline {
+		deadline = m.cfg.MaxStepDeadline
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.stepable(); err != nil {
+		return StepResult{}, err
+	}
+	s.meta.Lock()
+	s.meta.state = StateRunning
+	s.meta.lastUsed = time.Now()
+	s.meta.Unlock()
+
+	start := time.Now()
+	limit := start.Add(deadline)
+	var res StepResult
+	defer func() {
+		elapsed := time.Since(start)
+		m.Metrics.StepRequests.Add(1)
+		m.Metrics.Cycles.Add(res.Stepped)
+		m.Metrics.StepLatency.Observe(elapsed.Seconds())
+		s.meta.Lock()
+		s.meta.cyclesStepped += res.Stepped
+		s.meta.Unlock()
+	}()
+
+	const deadlineCheck = 4096
+	for res.Stepped < n && !s.inst.Done() {
+		if res.Stepped%deadlineCheck == 0 && res.Stepped > 0 && time.Now().After(limit) {
+			res.DeadlineExceeded = true
+			break
+		}
+		if err := s.inst.StepCycle(); err != nil {
+			res.Stepped++
+			s.poison(err)
+			res.Cycle = s.inst.Cycle()
+			res.State = StateBroken
+			return res, fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		res.Stepped++
+	}
+
+	state := StatePaused
+	if s.inst.Done() {
+		state = StateDone
+		r, err := s.inst.Finalize()
+		if err != nil {
+			s.poison(err)
+			res.Cycle = s.inst.Cycle()
+			res.State = StateBroken
+			return res, fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		res.Result = &r
+		s.meta.Lock()
+		s.meta.result = &r
+		s.meta.Unlock()
+	}
+	s.syncMeta(state)
+	res.Cycle = s.inst.Cycle()
+	res.Done = s.inst.Done()
+	res.State = state
+	return res, nil
+}
+
+// stepable checks the lifecycle allows simulator mutation. Callers
+// hold s.mu.
+func (s *Session) stepable() error {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	switch s.meta.state {
+	case StateCreated, StatePaused:
+		return nil
+	case StateDone:
+		return fmt.Errorf("%w: session is done", ErrConflict)
+	case StateBroken:
+		return fmt.Errorf("%w: session is broken: %s", ErrConflict, s.meta.errMsg)
+	default:
+		return fmt.Errorf("%w: session is %s", ErrConflict, s.meta.state)
+	}
+}
+
+// poison marks the session broken. Callers hold s.mu.
+func (s *Session) poison(err error) {
+	s.meta.Lock()
+	defer s.meta.Unlock()
+	if s.meta.state != StateEvicted {
+		s.meta.state = StateBroken
+	}
+	s.meta.errMsg = err.Error()
+	s.meta.lastUsed = time.Now()
+}
+
+// Poison marks the session broken from the request-isolation layer
+// (an in-handler panic may have left the simulator inconsistent).
+func (s *Session) Poison(err error) { s.poison(err) }
+
+// Info returns the session's current summary.
+func (m *Manager) Info(s *Session) Info { return s.info(s.inst.Arch()) }
+
+// Registers returns the session's named architectural registers.
+func (m *Manager) Registers(s *Session) (uint64, []runner.Reg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regs := s.inst.Registers()
+	s.touch()
+	return s.inst.Cycle(), regs
+}
+
+// ReadMem copies a range of the session's simulated memory.
+func (m *Manager) ReadMem(s *Session, addr, n uint32) ([]byte, error) {
+	if n > m.cfg.MaxMemRead {
+		return nil, fmt.Errorf("%w: read of %d bytes exceeds the %d-byte cap", ErrConflict, n, m.cfg.MaxMemRead)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := s.inst.ReadMem(addr, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	s.touch()
+	return data, nil
+}
+
+// touch refreshes the idle clock. Callers hold s.mu.
+func (s *Session) touch() {
+	s.meta.Lock()
+	s.meta.lastUsed = time.Now()
+	s.meta.Unlock()
+}
+
+// The session-snapshot wire format: the internal/snap stream the
+// simulators produce, wrapped with a header binding it to the target
+// so a snapshot cannot be restored into a mismatched model.
+const (
+	sessHeader  = "osmserve-session"
+	sessVersion = 1
+)
+
+// Snapshot encodes the session's full simulation state in the
+// internal/snap wire format.
+func (m *Manager) Snapshot(s *Session) ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, err := s.inst.Snapshot()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	cycle := s.inst.Cycle()
+	w := snap.NewWriter()
+	w.U32(snap.Magic)
+	w.String(sessHeader)
+	w.Version(sessVersion)
+	w.String(s.Spec.Target)
+	w.U64(cycle)
+	w.Bytes32(blob)
+	s.touch()
+	m.Metrics.SnapshotBytesOut.Add(uint64(w.Len()))
+	return w.Bytes(), cycle, nil
+}
+
+// Restore replaces the session's simulation state from an uploaded
+// snapshot. The session returns to the paused state (or effectively
+// done, discovered on the next step) and its trace restarts.
+func (m *Manager) Restore(s *Session, data []byte) (uint64, error) {
+	r := snap.NewReader(data)
+	if r.U32() != snap.Magic || r.String() != sessHeader {
+		return 0, fmt.Errorf("%w: not an osmserve session snapshot", ErrConflict)
+	}
+	r.Version(sessHeader, sessVersion)
+	target := r.String()
+	cycle := r.U64()
+	blob := r.Bytes32()
+	if err := r.Err(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if target != s.Spec.Target {
+		return 0, fmt.Errorf("%w: snapshot is for target %s, session is %s", ErrConflict, target, s.Spec.Target)
+	}
+	s.meta.Lock()
+	state := s.meta.state
+	s.meta.Unlock()
+	switch state {
+	case StateCreated, StatePaused, StateDone:
+	default:
+		return 0, fmt.Errorf("%w: cannot restore a %s session", ErrConflict, state)
+	}
+	if err := s.inst.Restore(blob); err != nil {
+		s.poison(err)
+		return 0, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	s.rec.Reset()
+	s.meta.Lock()
+	s.meta.result = nil
+	s.meta.errMsg = ""
+	s.meta.Unlock()
+	s.syncMeta(StatePaused)
+	m.Metrics.SnapshotBytesIn.Add(uint64(len(data)))
+	m.logf("session %s: restored at cycle %d", s.ID, cycle)
+	return s.inst.Cycle(), nil
+}
+
+// TraceEvents returns the retained trace events with Step >= since
+// plus the live totals, under the session lock.
+func (m *Manager) TraceEvents(s *Session, since uint64) ([]osm.Event, uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := s.rec.EventsSince(since)
+	// Copy: the ring may rotate after the lock is released.
+	out := make([]osm.Event, len(evs))
+	copy(out, evs)
+	s.touch()
+	return out, s.rec.Total(), s.rec.Checksum()
+}
