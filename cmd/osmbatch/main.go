@@ -47,6 +47,7 @@ func run() int {
 		out       = flag.String("out", "", "write the JSON manifest to this file (default stdout)")
 		quiet     = flag.Bool("quiet", false, "suppress per-job progress lines")
 		injectAt  = flag.Uint64("inject-panic", 0, "fault injection: panic the first job at this cycle")
+		check     = flag.Bool("check", false, "verify OSM invariants every control step on every job")
 	)
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func run() int {
 	}
 	for i := range jobs {
 		jobs[i].Scan = scan
+		jobs[i].Check = jobs[i].Check || *check
 		if *maxCycles > 0 {
 			jobs[i].MaxCycles = *maxCycles
 		}

@@ -38,6 +38,7 @@ var (
 	perfect   = flag.Bool("perfect", false, "disable caches and TLBs")
 	trace     = flag.Bool("trace", false, "print every executed instruction")
 	jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+	check     = flag.Bool("check", false, "verify OSM invariants (token conservation, bindings, scheduling, livelock) every control step")
 )
 
 func main() {
@@ -93,6 +94,7 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	spec.Check = *check
 	opts := runner.RunOptions{}
 	if *trace {
 		opts.Trace = os.Stdout

@@ -80,6 +80,19 @@ func TestParseErrors(t *testing.T) {
 		{"model m { states { A* } machines 1; @ }", "unexpected character"},
 		{"model m { states { A*, B } edges { e: A - B; } machines 1; }", "unexpected '-'"},
 		{"model m { states { A*, B } edges { e: A -> B [ frobnicate U.0 ]; } machines 1; }", "unknown primitive"},
+		// Allocation ceilings: Elaborate sizes memory from these
+		// counts, and descriptions arrive over the wire.
+		{"model m { states { A* } machines 999999999; }", "exceeds the limit"},
+		{"model m { managers { unit U(999999999); } states { A* } machines 1; }", "exceeds the limit"},
+		// Numbers too large for int must be positioned errors, not
+		// silent wraparound.
+		{"model m { states { A* } machines 99999999999999999999; }", "bad number"},
+		// Found while fuzzing the grammar corners: truncated input in
+		// every section must fail cleanly at EOF.
+		{"model m { managers {", "found end of input"},
+		{"model m { states { A*", "found end of input"},
+		{"model m { states { A*, B } edges { e: A -> B [ alloc", "found end of input"},
+		{"model m { states { A*, B } edges { e: A -> B [ alloc U.", "found end of input"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.src)

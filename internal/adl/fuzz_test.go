@@ -1,0 +1,72 @@
+package adl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/osm"
+)
+
+// FuzzParse drives arbitrary source through the whole untrusted
+// description path: lex/parse/validate, then — when a spec survives —
+// elaboration with permissive bindings and the static token-discipline
+// checker. Nothing on the path may panic; every rejection must be a
+// positioned *Error.
+func FuzzParse(f *testing.F) {
+	f.Add(pipelineSrc)
+	f.Add("model m { states { a* } machines 1; }")
+	f.Add(`model m {
+  managers { unit u(1); pool p(2); queue q(4); regfile rf(8); bypass by; reset R; }
+  states { a*, b, c }
+  edges {
+    e0: a -> b [ alloc u.*, inquire rf.$src, alloc rf.!$dst ];
+    e1: b -> c [ release u.*, alloc q.0, discard * ];
+    e2: c -> a [ release rf.!$dst ];
+    r0: b -> a reset;
+  }
+  machines 4;
+}`)
+	f.Add("model broken { states {")
+	f.Add("model m { machines 99999999999999999999; }")
+	f.Add("model m { managers { unit u(0); } states { a* } machines 1; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			return // bound fuzz cost, not a parser limit
+		}
+		spec, err := Parse(src)
+		if err != nil {
+			requirePositioned(t, err, src)
+			return
+		}
+		// A parsed spec must round-trip through the formatter.
+		if _, err := Parse(Format(spec)); err != nil {
+			t.Fatalf("formatted spec does not re-parse: %v\nsource: %q\nformatted: %q",
+				err, src, Format(spec))
+		}
+		bindings := map[string]Binding{}
+		for _, e := range spec.Edges {
+			for _, p := range e.Prims {
+				if p.Form == IDBound {
+					bindings[p.Binding] = func(*osm.Machine) osm.TokenID { return 0 }
+				}
+			}
+		}
+		model, err := Elaborate(spec, bindings)
+		if err != nil {
+			requirePositioned(t, err, src)
+			return
+		}
+		model.Validate(64)
+	})
+}
+
+func requirePositioned(t *testing.T, err error, src string) {
+	t.Helper()
+	var perr *Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("error is not a positioned *adl.Error: %v (%T)\nsource: %q", err, err, src)
+	}
+	if perr.Pos.Line < 1 || perr.Pos.Col < 1 {
+		t.Fatalf("error position %v not 1-based: %v\nsource: %q", perr.Pos, perr, src)
+	}
+}

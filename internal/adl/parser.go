@@ -311,6 +311,15 @@ func (p *parser) parsePrim() (PrimDecl, error) {
 	return PrimDecl{}, errf(p.tok.pos, "expected token id, '*' or '$name', found %s", p.tok)
 }
 
+// Allocation ceilings enforced by validate. Elaborate allocates
+// memory proportional to the machine count and to every manager size,
+// and descriptions arrive from untrusted sources (runner specs over
+// the wire), so both are bounded before any allocation happens.
+const (
+	MaxMachines    = 1 << 16
+	MaxManagerSize = 1 << 20
+)
+
 // validate checks cross-references: states/managers named by edges
 // exist, an initial state is marked, counts are sane.
 func validate(spec *Spec) error {
@@ -319,6 +328,10 @@ func validate(spec *Spec) error {
 	}
 	if spec.Machines <= 0 {
 		return errf(Position{1, 1}, "model %s: machines count missing or not positive", spec.Name)
+	}
+	if spec.Machines > MaxMachines {
+		return errf(Position{1, 1}, "model %s: %d machines exceeds the limit of %d",
+			spec.Name, spec.Machines, MaxMachines)
 	}
 	states := map[string]bool{}
 	for _, s := range spec.States {
@@ -342,6 +355,10 @@ func validate(spec *Spec) error {
 		default:
 			if m.Arg <= 0 {
 				return errf(m.Pos, "manager %q needs a positive size", m.Name)
+			}
+			if m.Arg > MaxManagerSize {
+				return errf(m.Pos, "manager %q: size %d exceeds the limit of %d",
+					m.Name, m.Arg, MaxManagerSize)
 			}
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/osm/invariant"
 	"repro/internal/sim/ppc750"
 	"repro/internal/sim/strongarm"
 	"repro/internal/snap"
@@ -40,6 +41,10 @@ type Job struct {
 	// PanicAt, when nonzero, makes the job panic at that cycle —
 	// fault injection for exercising the driver's panic isolation.
 	PanicAt uint64 `json:"panic_at,omitempty"`
+	// Check verifies OSM invariants (token conservation, bindings,
+	// scheduling, livelock) every control step; a violation fails the
+	// job with a structured diagnostic.
+	Check bool `json:"check,omitempty"`
 }
 
 func (j *Job) fill() {
@@ -167,6 +172,9 @@ func buildSim(j Job) (batchSim, func() (uint64, uint64, []uint32, error), error)
 			return nil, nil, err
 		}
 		s.Director().Scan = j.Scan
+		if j.Check {
+			invariant.Attach(s.Director())
+		}
 		fin := func() (uint64, uint64, []uint32, error) {
 			st, err := s.Finalize()
 			return st.Cycles, st.Instrs, s.ISS.Reported, err
@@ -182,6 +190,9 @@ func buildSim(j Job) (batchSim, func() (uint64, uint64, []uint32, error), error)
 			return nil, nil, err
 		}
 		s.Director().Scan = j.Scan
+		if j.Check {
+			invariant.Attach(s.Director())
+		}
 		fin := func() (uint64, uint64, []uint32, error) {
 			st, err := s.Finalize()
 			return st.Cycles, st.Instrs, s.ISS.Reported, err
@@ -427,9 +438,11 @@ func (r *Runner) removeCheckpoint(j Job) {
 }
 
 // jobIdentity strips the fields that do not affect simulation state
-// (fault injection is driver-side).
+// (fault injection is driver-side, and the invariant checker is a
+// pure observer), so checkpoints resume across differing settings.
 func jobIdentity(j Job) Job {
 	j.PanicAt = 0
+	j.Check = false
 	return j
 }
 

@@ -170,6 +170,25 @@ func TestCheckpointIdentityMismatch(t *testing.T) {
 	checkOK(t, res)
 }
 
+// TestCheckpointIdentityIgnoresCheck: the invariant checker is a pure
+// observer, so toggling Job.Check must not invalidate an existing
+// checkpoint (same exclusion PanicAt gets).
+func TestCheckpointIdentityIgnoresCheck(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Name: "fixed-name", Arch: "arm", Workload: "gsm/dec", N: 40, PanicAt: 800}
+	r := &Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}
+	if got := r.Run([]Job{job}).Results[0]; got.Status != StatusPanic {
+		t.Fatalf("setup run: status %q", got.Status)
+	}
+
+	resumed := Job{Name: "fixed-name", Arch: "arm", Workload: "gsm/dec", N: 40, Check: true}
+	res := (&Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}).Run([]Job{resumed}).Results[0]
+	if !res.Resumed {
+		t.Fatal("toggling Check invalidated the checkpoint")
+	}
+	checkOK(t, res)
+}
+
 // TestCorruptCheckpointRestarts verifies a truncated checkpoint file
 // does not kill the job — it restarts from scratch and still succeeds.
 func TestCorruptCheckpointRestarts(t *testing.T) {

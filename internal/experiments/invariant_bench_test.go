@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/osm/invariant"
+	"repro/internal/sim/ppc750"
+	"repro/internal/sim/strongarm"
+	"repro/internal/workload"
+)
+
+// Checker-overhead benchmarks for EXPERIMENTS.md: each sub-benchmark
+// runs the same kernel with the invariant checker absent, checking
+// every control step, and checking every 64th step. The metric is
+// cycles/s so the rows compare directly against the speed tables.
+//
+//	go test -bench=InvariantChecker -benchtime=20000x -run='^$' ./internal/experiments
+
+func benchChecker(b *testing.B, build func(b *testing.B) checkSim, every uint64) {
+	s := build(b)
+	if every > 0 {
+		c := invariant.New(s.Director())
+		c.Every = every
+		c.Install()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Done() {
+			b.StopTimer()
+			s = build(b)
+			if every > 0 {
+				c := invariant.New(s.Director())
+				c.Every = every
+				c.Install()
+			}
+			b.StartTimer()
+		}
+		if err := s.StepCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+func benchCheckerModel(b *testing.B, build func(b *testing.B) checkSim) {
+	b.Run("off", func(b *testing.B) { benchChecker(b, build, 0) })
+	b.Run("every1", func(b *testing.B) { benchChecker(b, build, 1) })
+	b.Run("every64", func(b *testing.B) { benchChecker(b, build, 64) })
+}
+
+func BenchmarkInvariantCheckerStrongARM(b *testing.B) {
+	w := workload.ByName("gsm/dec")
+	benchCheckerModel(b, func(b *testing.B) checkSim {
+		p, err := w.ARMProgram(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := strongarm.New(p, strongarm.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	})
+}
+
+func BenchmarkInvariantCheckerPPC750(b *testing.B) {
+	w := workload.ByName("mpeg2/enc")
+	benchCheckerModel(b, func(b *testing.B) checkSim {
+		p, err := w.PPCProgram(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := ppc750.New(p, ppc750.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	})
+}

@@ -113,9 +113,18 @@ func (a *assembler) pass(src string, n int) error {
 		if err := a.statement(line); err != nil {
 			return fmt.Errorf("arm asm: line %d: %w", lineNo+1, err)
 		}
+		if a.pc-a.org > maxImageBytes {
+			return fmt.Errorf("arm asm: line %d: image exceeds %d bytes", lineNo+1, maxImageBytes)
+		}
 	}
 	return nil
 }
+
+// maxImageBytes bounds the assembled image. Sources arrive from
+// untrusted specs, and a single `.space` line can otherwise demand
+// gigabytes; each statement adds at most maxImageBytes, and the
+// per-line check fires before uint32 address arithmetic can wrap.
+const maxImageBytes = 16 << 20
 
 func (a *assembler) emit(w uint32) {
 	if a.pass2 {
@@ -168,6 +177,9 @@ func (a *assembler) statement(line string) error {
 		}
 		if n%4 != 0 {
 			return fmt.Errorf(".space %d not a word multiple", n)
+		}
+		if n > maxImageBytes {
+			return fmt.Errorf(".space %d exceeds the %d-byte image limit", n, maxImageBytes)
 		}
 		for k := uint32(0); k < n/4; k++ {
 			a.emit(0)
@@ -590,6 +602,9 @@ func (a *assembler) memOperands(ins Instr, ops []string) error {
 	}
 	inner := strings.TrimSuffix(strings.TrimPrefix(addr, "["), "]")
 	parts := splitOperands(inner)
+	if len(parts) == 0 {
+		return fmt.Errorf("empty address %q", addr)
+	}
 	if ins.Rn, err = parseReg(parts[0]); err != nil {
 		return err
 	}

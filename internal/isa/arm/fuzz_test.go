@@ -1,0 +1,74 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary source through the two-pass assembler.
+// The assembler consumes workload sources from untrusted specs, so it
+// must reject bad input with an error — never panic and never emit an
+// image larger than the documented ceiling. Every word it does emit
+// must survive the decoder and the disassembler.
+func FuzzAssemble(f *testing.F) {
+	f.Add("mov r0, #1\nadd r1, r0, r0, lsl #2\nloop: subs r1, r1, #1\nbne loop\nswi #0\n")
+	f.Add("_start: ldr r0, =data\nldr r1, [r0]\nstr r1, [r0, #4]!\nldmia sp!, {r0-r3, pc}\ndata: .word 42, 7\n")
+	f.Add("push {r0, lr}\npop {r0, pc}\n.space 8\nldrh r2, [r3], #2\n")
+	f.Add("ldr r0, []")
+	f.Add(".space 4294967292")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 32<<10 {
+			return
+		}
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if p.Size() > maxImageBytes {
+			t.Fatalf("assembled %d bytes, over the %d-byte limit\nsource: %q", p.Size(), maxImageBytes, src)
+		}
+		for i, w := range p.Words {
+			if _, err := Decode(w); err != nil {
+				// Data words (.word/.space/literals) need not decode,
+				// but an undecodable word must at least disassemble to
+				// a diagnostic, not panic.
+				_ = err
+			}
+			if s := Disassemble(w); s == "" {
+				t.Fatalf("word %d (%#08x) disassembles to nothing\nsource: %q", i, w, src)
+			}
+		}
+	})
+}
+
+// TestAssembleHostileInputs pins the crashers and resource-exhaustion
+// cases the fuzz target guards against.
+func TestAssembleHostileInputs(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		// Empty bracketed address used to index splitOperands()[0]
+		// out of range.
+		{"ldr r0, []", "empty address"},
+		{"str r1, [ ]", "empty address"},
+		// A single .space could demand gigabytes before the fix.
+		{".space 1073741824", "image limit"},
+		{".space 4294967292", "image limit"},
+		// Accumulated growth across statements trips the per-line cap.
+		{strings.Repeat(".space 16777216\n", 2), "exceeds"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) error = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+	// The cap must not reject legitimate images.
+	if _, err := Assemble(".space 65536\nmov r0, #1\n"); err != nil {
+		t.Errorf("modest .space rejected: %v", err)
+	}
+}

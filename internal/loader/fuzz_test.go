@@ -1,0 +1,53 @@
+package loader
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the image parser. Images
+// arrive inside untrusted specs, so corrupt input must produce an
+// error — never a panic, and never an allocation beyond what the
+// input length itself justifies (the word count is validated against
+// len(data) before the slice is made). A parse that succeeds must
+// survive a Marshal/Unmarshal round trip unchanged.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte("OSMB\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x01\xde\xad\xbe\xef"))
+	f.Add([]byte("OSMB\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte("OSMB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		im, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if 4*len(im.Words) > len(data) {
+			t.Fatalf("parsed %d words from %d input bytes", len(im.Words), len(data))
+		}
+		again, err := Unmarshal(im.Marshal())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if again.Arch != im.Arch || again.Org != im.Org || again.Entry != im.Entry ||
+			!equalWords(again.Words, im.Words) {
+			t.Fatalf("round trip changed image: %+v vs %+v", again, im)
+		}
+		if !bytes.Equal(again.Marshal(), im.Marshal()) {
+			t.Fatal("Marshal not canonical across round trip")
+		}
+	})
+}
+
+func equalWords(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -84,3 +84,7 @@ func (b *BypassManager) Inquire(m *Machine, id TokenID) bool {
 
 // Release always fails: no tokens are ever granted.
 func (b *BypassManager) Release(m *Machine, t Token) bool { return false }
+
+// OutstandingGrants is empty: forwarding paths never grant tokens
+// (GrantAuditor).
+func (b *BypassManager) OutstandingGrants(yield func(Grant)) {}

@@ -89,6 +89,11 @@ type Director struct {
 	// installing a custom Rank falls back to the scan scheduler
 	// automatically. Choose the scheduler before the first Step.
 	Scan bool
+	// Check, if non-nil, runs at the end of every control step,
+	// before the step counter advances — the hook the invariant
+	// checker (internal/osm/invariant) installs. A non-nil error
+	// aborts Step. A nil Check costs one predictable branch per step.
+	Check func(d *Director) error
 
 	machines []*Machine
 	managers []TokenManager
@@ -245,8 +250,31 @@ func (d *Director) stepScan() error {
 			return err
 		}
 	}
+	if d.Check != nil {
+		if err := d.Check(d); err != nil {
+			return err
+		}
+	}
 	d.step++
 	return nil
+}
+
+// EventDriven reports whether the event-driven scheduler serves the
+// director's steps (see Scan; a custom Rank forces the scan).
+func (d *Director) EventDriven() bool { return !d.Scan && d.Rank == nil }
+
+// WillEvaluate reports whether machine m is queued for evaluation at
+// the next control step. Under the scan scheduler every machine is
+// re-evaluated each step, so the answer is always true; under the
+// event-driven scheduler a machine is evaluated only while it sits in
+// the ready set — suspended machines wait for a manager wake. The
+// invariant checker uses this to verify that the event scheduler
+// never leaves a machine with a satisfiable edge asleep.
+func (d *Director) WillEvaluate(m *Machine) bool {
+	if !d.EventDriven() || !d.ev.init {
+		return true
+	}
+	return m.sched.inReady || m.sched.inPend
 }
 
 // deadlockCheck runs wait-for-cycle detection after a step in which no

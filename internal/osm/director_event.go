@@ -257,6 +257,11 @@ func (d *Director) stepEvent() error {
 			return err
 		}
 	}
+	if d.Check != nil {
+		if err := d.Check(d); err != nil {
+			return err
+		}
+	}
 	d.step++
 	return nil
 }

@@ -83,6 +83,10 @@ type Machine struct {
 
 	cur    *State
 	tokens []Token
+	// moves counts committed transitions since construction or the
+	// last Reset; the invariant checker's livelock detector watches it
+	// for progress.
+	moves uint64
 	// blocked records the primitives that failed during the most
 	// recent scheduling pass, for deadlock analysis and diagnostics.
 	blocked []*Primitive
@@ -279,6 +283,7 @@ func (m *Machine) tryEdge(e *Edge) (bool, error) {
 		e.Action(m)
 	}
 	m.cur = e.To
+	m.moves++
 	if m.cur == m.Initial && len(m.tokens) > 0 {
 		return true, fmt.Errorf("osm: machine %s returned to initial state %s holding %d token(s); first: %s",
 			m.Name, m.Initial.Name, len(m.tokens), m.tokens[0])
@@ -324,8 +329,74 @@ func (m *Machine) Reset() {
 	m.cur = m.Initial
 	m.Ctx = nil
 	m.Age = 0
+	m.moves = 0
 	m.blocked = nil
 	m.idMemo = nil
+}
+
+// Transitions returns the number of edges the machine has committed
+// since construction or its last Reset.
+func (m *Machine) Transitions() uint64 { return m.moves }
+
+// ProbeEdge reports whether e's guard condition is currently
+// satisfiable for m without committing anything: every primitive is
+// issued as a tentative request and then cancelled in reverse order,
+// relying on the TokenManager contract that cancel restores the
+// pre-request state exactly. The When predicate is consulted as in
+// normal evaluation; the Action never runs. Releasing a token the
+// machine does not hold probes false rather than erroring.
+//
+// The invariant checker uses the probe to ask "would the Figure 3
+// scan have fired this edge?" for machines the event-driven scheduler
+// left asleep.
+func (m *Machine) ProbeEdge(e *Edge) bool {
+	if e.When != nil && !e.When(m) {
+		return false
+	}
+	pend := m.pend[:0]
+	cancel := func() {
+		for i := len(pend) - 1; i >= 0; i-- {
+			p := pend[i]
+			switch p.prim.Op {
+			case OpAllocate:
+				p.prim.Mgr.CancelAllocate(m, p.tok)
+			case OpRelease:
+				p.prim.Mgr.CancelRelease(m, p.tok)
+			}
+		}
+		m.pend = pend[:0]
+	}
+	for pi := range e.Prims {
+		p := &e.Prims[pi]
+		switch p.Op {
+		case OpAllocate:
+			tok, ok := p.Mgr.Allocate(m, m.primID(p))
+			if !ok {
+				cancel()
+				return false
+			}
+			pend = append(pend, pendingTxn{prim: p, tok: tok})
+		case OpInquire:
+			if !p.Mgr.Inquire(m, m.primID(p)) {
+				cancel()
+				return false
+			}
+		case OpRelease:
+			tok, held := m.HeldToken(p.Mgr, m.primID(p))
+			if !held || !p.Mgr.Release(m, tok) {
+				cancel()
+				return false
+			}
+			pend = append(pend, pendingTxn{prim: p, tok: tok})
+		case OpDiscard:
+			// Discard always succeeds; nothing to request.
+		default:
+			cancel()
+			return false
+		}
+	}
+	cancel()
+	return true
 }
 
 // Blocked returns the primitives that failed for this machine during

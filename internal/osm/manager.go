@@ -92,6 +92,33 @@ type SleepSafe interface {
 	SleepSafeManager() bool
 }
 
+// Grant describes one outstanding token grant from the granting
+// manager's perspective: which machine holds which token. Managers
+// that track only a grant count — the pool manager hands out
+// anonymous, interchangeable tokens — report a nil Owner, and the
+// invariant checker matches them by count instead of identity.
+type Grant struct {
+	// Owner is the machine the grant is bound to, or nil when the
+	// manager tracks counts rather than owners.
+	Owner *Machine
+	// ID is the granted token's identifier in the manager's
+	// namespace, or AnyUnit for anonymous grants.
+	ID TokenID
+}
+
+// GrantAuditor is implemented by managers that can enumerate their
+// outstanding grants. The invariant checker cross-checks the
+// enumeration against every machine's token buffer to verify the
+// paper's conservation law: each token is held by exactly one machine
+// or by its manager, never both and never neither. All built-in
+// managers implement it.
+type GrantAuditor interface {
+	// OutstandingGrants calls yield once per outstanding grant. The
+	// enumeration must reflect committed state only; it is invoked
+	// between control steps, never mid-transaction.
+	OutstandingGrants(yield func(Grant))
+}
+
 // HolderReporter is implemented by managers that can report which
 // machine currently owns a unit. The deadlock detector uses it to
 // build the wait-for graph of the paper's Section 3.4.

@@ -73,3 +73,13 @@ func (p *PoolManager) Discarded(m *Machine, t Token) {
 // be suspended (SleepSafe): only while no opaque allocation gate is
 // installed.
 func (p *PoolManager) SleepSafeManager() bool { return p.AllocGate == nil }
+
+// OutstandingGrants enumerates the granted tokens (GrantAuditor).
+// Pool tokens are anonymous — the pool remembers how many are out,
+// not who holds them — so each grant carries a nil Owner and the
+// checker matches by count.
+func (p *PoolManager) OutstandingGrants(yield func(Grant)) {
+	for i := p.InUse(); i > 0; i-- {
+		yield(Grant{ID: AnyUnit})
+	}
+}

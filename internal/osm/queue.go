@@ -116,6 +116,15 @@ func (q *QueueManager) CancelRelease(m *Machine, t Token) {
 // installed.
 func (q *QueueManager) SleepSafeManager() bool { return q.ReleaseGate == nil }
 
+// OutstandingGrants enumerates the occupied entries in queue order
+// (GrantAuditor).
+func (q *QueueManager) OutstandingGrants(yield func(Grant)) {
+	for i := 0; i < q.n; i++ {
+		e := q.at(i)
+		yield(Grant{Owner: e.owner, ID: e.id})
+	}
+}
+
 // Discarded removes a squashed operation's entry from anywhere in the
 // queue. It wakes waiters itself because Machine.Reset discards
 // outside any edge commit.

@@ -169,6 +169,17 @@ func (r *RegFileManager) retire(m *Machine, reg int) {
 		r.ManagerName, m.Name, reg))
 }
 
+// OutstandingGrants enumerates the outstanding register-update tokens,
+// one per writer per register (GrantAuditor). Value tokens are
+// non-exclusive and never granted, so they do not appear.
+func (r *RegFileManager) OutstandingGrants(yield func(Grant)) {
+	for reg, ws := range r.writers {
+		for _, w := range ws {
+			yield(Grant{Owner: w, ID: UpdateToken(reg)})
+		}
+	}
+}
+
 // Holder reports the oldest outstanding writer of the register named
 // by an update token (HolderReporter); readers blocked on the value
 // token wait, transitively, on that writer.

@@ -62,6 +62,10 @@ func (r *ResetManager) Inquire(m *Machine, id TokenID) bool {
 // Release always fails; no tokens are ever granted.
 func (r *ResetManager) Release(m *Machine, t Token) bool { return false }
 
+// OutstandingGrants is empty: the reset manager never grants tokens
+// (GrantAuditor).
+func (r *ResetManager) OutstandingGrants(yield func(Grant)) {}
+
 // ResetEdge adds the canonical reset edge to a state: highest static
 // priority, guarded by an inquiry to reset, discarding all held tokens
 // and returning to initial. The machine is unmarked as part of the

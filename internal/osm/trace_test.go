@@ -187,6 +187,56 @@ func TestRecorderEventsSince(t *testing.T) {
 	}
 }
 
+// EventsSince boundary semantics on a wrapped ring, driven by raw
+// Transition calls so we control the step numbers exactly — including
+// several events committing in the same control step, which the
+// director-driven tests never produce. With Limit 6 and events at
+// steps 10,10,11,12,12,12,13,14 the retained window after wrap is
+// [11,12,12,12,13,14]:
+//   - since == a step older than the window returns the whole window
+//   - since == the oldest retained step returns the whole window
+//   - since == a step shared by several events returns all of them
+//   - since == the newest step returns exactly the last event
+//   - since past the newest returns nothing
+func TestRecorderEventsSinceWrapBoundaries(t *testing.T) {
+	a, b := &State{Name: "A"}, &State{Name: "B"}
+	edge := &Edge{Name: "hop", From: a, To: b}
+	m := &Machine{Name: "m0"}
+	rec := NewRecorder()
+	rec.Limit = 6
+	steps := []uint64{10, 10, 11, 12, 12, 12, 13, 14}
+	for _, s := range steps {
+		rec.Transition(s, m, edge)
+	}
+	if rec.Total() != uint64(len(steps)) {
+		t.Fatalf("Total = %d, want %d", rec.Total(), len(steps))
+	}
+	window := []uint64{11, 12, 12, 12, 13, 14}
+	check := func(since uint64, want []uint64) {
+		t.Helper()
+		got := rec.EventsSince(since)
+		if len(got) != len(want) {
+			t.Fatalf("EventsSince(%d) = %d events, want %d", since, len(got), len(want))
+		}
+		for i, ev := range got {
+			if ev.Step != want[i] {
+				t.Fatalf("EventsSince(%d)[%d].Step = %d, want %d", since, i, ev.Step, want[i])
+			}
+		}
+	}
+	check(0, window)  // since before the window: everything retained
+	check(10, window) // step 10 fell out of the ring: same answer
+	check(11, window) // exactly the oldest retained step
+	check(12, window[1:])
+	check(13, window[4:])
+	check(14, window[5:]) // exactly the newest step
+	check(15, nil)        // past the end
+	// The retained window must agree with Events() itself.
+	if evs := rec.Events(); len(evs) != len(window) || evs[0].Step != 11 || evs[5].Step != 14 {
+		t.Fatalf("Events() window wrong: %+v", evs)
+	}
+}
+
 // The server streams from a live bounded Recorder chained in front of
 // another Tracer while other goroutines read it, all serialized by a
 // per-session mutex. This test exercises exactly that access pattern

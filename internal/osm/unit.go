@@ -171,6 +171,15 @@ func (u *UnitManager) Release(m *Machine, t Token) bool {
 // CancelRelease restores m's ownership of the unit.
 func (u *UnitManager) CancelRelease(m *Machine, t Token) { u.owner[t.ID] = m }
 
+// OutstandingGrants enumerates the owned units (GrantAuditor).
+func (u *UnitManager) OutstandingGrants(yield func(Grant)) {
+	for i, o := range u.owner {
+		if o != nil {
+			yield(Grant{Owner: o, ID: TokenID(i)})
+		}
+	}
+}
+
 // Discarded reclaims the unit unconditionally. It wakes waiters
 // itself because Machine.Reset discards outside any edge commit.
 func (u *UnitManager) Discarded(m *Machine, t Token) {

@@ -1,0 +1,40 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpec drives the spec-validation path every network-facing entry
+// point shares: JSON decode, Validate, then program resolution
+// (workload lookup, assembler, image loader). Specs arrive from
+// untrusted HTTP bodies and batch files, so the path must reject bad
+// input with an error — never panic — and a success must yield
+// exactly one program matching the target's ISA.
+func FuzzSpec(f *testing.F) {
+	f.Add([]byte(`{"target":"strongarm","workload":"gsm/dec","n":3,"check":true}`))
+	f.Add([]byte(`{"target":"ppc750","src":"loop: addi r3, r3, -1\ncmpwi r3, 0\nbne loop\nsc"}`))
+	f.Add([]byte(`{"target":"arm-iss","src":"mov r0, #1\nswi #0"}`))
+	f.Add([]byte(`{"target":"sscalar","image":"T1NNQgEAAAAAAAAAAAAAAAAAAAHjoAAB"}`))
+	f.Add([]byte(`{"target":"strongarm","workload":"gsm/dec","src":"nop"}`))
+	f.Add([]byte(`{"target":"nope"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256<<10 {
+			return
+		}
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		armProg, ppcProg, err := spec.Programs()
+		if err != nil {
+			return
+		}
+		if (armProg == nil) == (ppcProg == nil) {
+			t.Fatalf("Programs() returned %v arm / %v ppc for %+v", armProg != nil, ppcProg != nil, spec)
+		}
+		if spec.IsARM() != (armProg != nil) {
+			t.Fatalf("program ISA does not match target %q", spec.Target)
+		}
+	})
+}

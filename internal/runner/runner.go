@@ -23,6 +23,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/mem"
 	"repro/internal/osm"
+	"repro/internal/osm/invariant"
 	"repro/internal/sim/ppc750"
 	"repro/internal/sim/strongarm"
 	"repro/internal/workload"
@@ -57,6 +58,11 @@ type Spec struct {
 	Perfect bool `json:"perfect,omitempty"`
 	// Scan selects the reference scan scheduler on OSM targets.
 	Scan bool `json:"scan,omitempty"`
+	// Check installs the runtime OSM invariant checker on the model's
+	// director: token conservation, binding consistency, scheduler
+	// equivalence and livelock detection verified every control step.
+	// A violation aborts the run with an *invariant.Error.
+	Check bool `json:"check,omitempty"`
 }
 
 // IsARM reports whether the target executes the ARM ISA.
@@ -315,6 +321,70 @@ func (in *Instance) ReadMem(addr, n uint32) ([]byte, error) { return in.readMem(
 // applied).
 func (in *Instance) MaxCycles() uint64 { return in.spec.maxCycles() }
 
+// CheckInvariants runs a one-shot structural invariant check over the
+// model right now: token conservation and binding consistency as of
+// the current control step. It works whether or not the per-step
+// checker was enabled, so debug surfaces can probe any session.
+func (in *Instance) CheckInvariants() []invariant.Violation {
+	return invariant.New(in.director).CheckNow()
+}
+
+// Hooks assembles an Instance from caller-supplied callbacks — the
+// seam drivers use to script instances in tests (a deliberately slow
+// model for deadline coverage, a failing Snapshot, ...). Nil hooks get
+// inert defaults.
+type Hooks struct {
+	Spec      Spec
+	Arch      string
+	Director  *osm.Director
+	Step      func() error
+	Cycle     func() uint64
+	Done      func() bool
+	Snapshot  func() ([]byte, error)
+	Restore   func([]byte) error
+	Finalize  func() (Result, error)
+	Registers func() []Reg
+	ReadMem   func(addr, n uint32) ([]byte, error)
+}
+
+// NewFromHooks builds an Instance whose behavior is entirely defined
+// by the hooks.
+func NewFromHooks(h Hooks) *Instance {
+	if h.Director == nil {
+		h.Director = osm.NewDirector()
+	}
+	if h.Step == nil {
+		h.Step = func() error { return nil }
+	}
+	if h.Cycle == nil {
+		h.Cycle = func() uint64 { return 0 }
+	}
+	if h.Done == nil {
+		h.Done = func() bool { return false }
+	}
+	if h.Snapshot == nil {
+		h.Snapshot = func() ([]byte, error) { return nil, fmt.Errorf("runner: no snapshot hook") }
+	}
+	if h.Restore == nil {
+		h.Restore = func([]byte) error { return fmt.Errorf("runner: no restore hook") }
+	}
+	if h.Finalize == nil {
+		h.Finalize = func() (Result, error) { return Result{Target: h.Spec.Target, Arch: h.Arch}, nil }
+	}
+	if h.Registers == nil {
+		h.Registers = func() []Reg { return nil }
+	}
+	if h.ReadMem == nil {
+		h.ReadMem = func(addr, n uint32) ([]byte, error) { return nil, fmt.Errorf("runner: no mem hook") }
+	}
+	return &Instance{
+		spec: h.Spec, arch: h.Arch, director: h.Director,
+		step: h.Step, cycle: h.Cycle, done: h.Done,
+		snapshot: h.Snapshot, restore: h.Restore, finalize: h.Finalize,
+		regs: h.Registers, readMem: h.ReadMem,
+	}
+}
+
 // New builds a steppable Instance for the spec. Targets without a
 // step/snapshot surface return ErrNotSteppable.
 func New(spec Spec) (*Instance, error) {
@@ -329,6 +399,9 @@ func New(spec Spec) (*Instance, error) {
 			return nil, err
 		}
 		s.Director().Scan = spec.Scan
+		if spec.Check {
+			invariant.Attach(s.Director())
+		}
 		return &Instance{
 			spec:     spec,
 			arch:     "arm",
@@ -351,6 +424,9 @@ func New(spec Spec) (*Instance, error) {
 			return nil, err
 		}
 		s.Director().Scan = spec.Scan
+		if spec.Check {
+			invariant.Attach(s.Director())
+		}
 		return &Instance{
 			spec:     spec,
 			arch:     "ppc",
@@ -431,6 +507,9 @@ func Run(spec Spec, opts RunOptions) (Result, error) {
 			return Result{}, err
 		}
 		s.Director().Scan = spec.Scan
+		if spec.Check {
+			invariant.Attach(s.Director())
+		}
 		if opts.Trace != nil {
 			s.ISS.Trace = armTrace
 		}
@@ -468,6 +547,9 @@ func Run(spec Spec, opts RunOptions) (Result, error) {
 			return Result{}, err
 		}
 		s.Director().Scan = spec.Scan
+		if spec.Check {
+			invariant.Attach(s.Director())
+		}
 		if opts.Trace != nil {
 			s.ISS.Trace = ppcTrace
 		}

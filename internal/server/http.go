@@ -51,6 +51,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", m.withSession(m.handleSnapshot))
 	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(m.handleRestore))
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", m.withSession(m.handleTrace))
+	mux.HandleFunc("GET /v1/sessions/{id}/invariants", m.withSession(m.handleInvariants))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -221,6 +222,18 @@ func (m *Manager) handleRegisters(w http.ResponseWriter, r *http.Request, s *Ses
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cycle":     cycle,
 		"registers": regs,
+	})
+}
+
+// handleInvariants is the debug endpoint over the runtime OSM
+// invariant checker: a one-shot structural check (token conservation,
+// binding consistency) of the session's model at its current cycle.
+func (m *Manager) handleInvariants(w http.ResponseWriter, r *http.Request, s *Session) {
+	cycle, vs := m.CheckInvariants(s)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cycle":      cycle,
+		"clean":      len(vs) == 0,
+		"violations": vs,
 	})
 }
 

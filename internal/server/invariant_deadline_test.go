@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/osm"
+	"repro/internal/runner"
+)
+
+// slowSession builds a session around a scripted instance whose every
+// cycle takes perCycle of wall time.
+func slowSession(perCycle time.Duration) *Session {
+	var cycle uint64
+	inst := runner.NewFromHooks(runner.Hooks{
+		Spec: runner.Spec{Target: "strongarm", Workload: "scripted"},
+		Arch: "arm",
+		Step: func() error {
+			time.Sleep(perCycle)
+			cycle++
+			return nil
+		},
+		Cycle: func() uint64 { return cycle },
+	})
+	s := &Session{ID: "slow", Spec: inst.Spec(), inst: inst, rec: osm.NewRecorder()}
+	now := time.Now()
+	s.meta.state = StateCreated
+	s.meta.created = now
+	s.meta.lastUsed = now
+	return s
+}
+
+// TestStepDeadlineSmallRequest pins the modulus bug: the deadline used
+// to be consulted only when Stepped was a positive multiple of 4096,
+// so a request for fewer cycles of a slow model ran to completion no
+// matter how far past its deadline it got. The geometric ramp must
+// stop a 200-cycle request on a model that takes ~1ms/cycle well
+// before all 200 cycles elapse.
+func TestStepDeadlineSmallRequest(t *testing.T) {
+	m := NewManager(Config{})
+	s := slowSession(time.Millisecond)
+	res, err := m.Step(s, 200, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineExceeded {
+		t.Fatalf("deadline not reported exceeded: %+v", res)
+	}
+	if res.Stepped == 0 || res.Stepped >= 200 {
+		t.Fatalf("stepped %d cycles, want some progress but far fewer than 200", res.Stepped)
+	}
+	if res.State != StatePaused {
+		t.Fatalf("state = %s, want %s", res.State, StatePaused)
+	}
+	// A deadline-exceeded session is paused, not broken: stepping again
+	// must work and make progress.
+	res2, err := m.Step(s, 5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stepped != 5 || res2.DeadlineExceeded {
+		t.Fatalf("follow-up step: %+v", res2)
+	}
+}
+
+// TestStepDeadlineFastModelUnaffected: a fast model must complete a
+// small request without tripping the ramp's extra checks.
+func TestStepDeadlineFastModelUnaffected(t *testing.T) {
+	m := NewManager(Config{})
+	s := slowSession(0)
+	res, err := m.Step(s, 3000, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stepped != 3000 || res.DeadlineExceeded {
+		t.Fatalf("fast model: %+v", res)
+	}
+}
+
+// TestInvariantsEndpoint exercises the debug endpoint on a live model:
+// a fresh strongarm session must report a clean structural check, both
+// before and after stepping some cycles.
+func TestInvariantsEndpoint(t *testing.T) {
+	_, cl, stop := newTestServer(t, Config{})
+	defer stop()
+
+	var created struct {
+		ID string `json:"id"`
+	}
+	resp, body := cl.doJSON(http.MethodPost, "/v1/sessions",
+		map[string]any{"target": "strongarm", "workload": "gsm/dec", "n": 2, "check": true}, &created)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+
+	check := func(wantCycleAtLeast uint64) {
+		t.Helper()
+		var out struct {
+			Cycle      uint64            `json:"cycle"`
+			Clean      bool              `json:"clean"`
+			Violations []json.RawMessage `json:"violations"`
+		}
+		resp, body := cl.doJSON(http.MethodGet, "/v1/sessions/"+created.ID+"/invariants", nil, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("invariants: %d %s", resp.StatusCode, body)
+		}
+		if !out.Clean || len(out.Violations) != 0 {
+			t.Fatalf("model not clean: %s", body)
+		}
+		if out.Cycle < wantCycleAtLeast {
+			t.Fatalf("cycle = %d, want >= %d", out.Cycle, wantCycleAtLeast)
+		}
+	}
+
+	check(0)
+	resp, body = cl.doJSON(http.MethodPost, "/v1/sessions/"+created.ID+"/step",
+		map[string]any{"cycles": 500}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %d %s", resp.StatusCode, body)
+	}
+	check(500)
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/osm"
+	"repro/internal/osm/invariant"
 	"repro/internal/runner"
 	"repro/internal/snap"
 )
@@ -479,11 +480,21 @@ func (m *Manager) Step(s *Session, n uint64, deadline time.Duration) (StepResult
 		s.meta.Unlock()
 	}()
 
+	// The deadline is polled on a geometric ramp — after cycle 1, 2,
+	// 4, 8, ... then every 4096 cycles — so slow models exceed the
+	// deadline by at most one doubling even on small-n requests. The
+	// old fixed modulus (every 4096th cycle, skipping cycle 0) never
+	// fired for n < 4096: a request for a few hundred cycles of a
+	// pathologically slow model could overrun its deadline unboundedly.
 	const deadlineCheck = 4096
+	next := uint64(1)
 	for res.Stepped < n && !s.inst.Done() {
-		if res.Stepped%deadlineCheck == 0 && res.Stepped > 0 && time.Now().After(limit) {
-			res.DeadlineExceeded = true
-			break
+		if res.Stepped >= next {
+			next = res.Stepped + min(res.Stepped, deadlineCheck)
+			if time.Now().After(limit) {
+				res.DeadlineExceeded = true
+				break
+			}
 		}
 		if err := s.inst.StepCycle(); err != nil {
 			res.Stepped++
@@ -559,6 +570,17 @@ func (m *Manager) Registers(s *Session) (uint64, []runner.Reg) {
 	regs := s.inst.Registers()
 	s.touch()
 	return s.inst.Cycle(), regs
+}
+
+// CheckInvariants runs the one-shot structural invariant check over
+// the session's model (debug surface; works whether or not the spec
+// enabled per-step checking).
+func (m *Manager) CheckInvariants(s *Session) (uint64, []invariant.Violation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.inst.CheckInvariants()
+	s.touch()
+	return s.inst.Cycle(), vs
 }
 
 // ReadMem copies a range of the session's simulated memory.

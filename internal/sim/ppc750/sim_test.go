@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/isa/ppc"
 	"repro/internal/mem"
+	"repro/internal/osm/invariant"
 	"repro/internal/workload"
 )
 
@@ -23,6 +24,9 @@ func runSrc(t *testing.T, src string, cfg Config) Stats {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every timing test doubles as a differential run of the OSM
+	// invariant checker: a violation fails the run.
+	invariant.Attach(s.Director())
 	st, err := s.Run(10_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -190,6 +194,7 @@ func TestKernelsCorrectUnderTimingModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		invariant.Attach(s.Director())
 		st, err := s.Run(1_000_000_000)
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)

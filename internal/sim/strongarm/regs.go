@@ -161,6 +161,15 @@ func (r *regFile) Discarded(m *osm.Machine, t osm.Token) {
 	r.Wake()
 }
 
+// OutstandingGrants enumerates the committed writer tokens
+// (osm.GrantAuditor): every machine in the writers table holds one
+// WriterToken. Order is unspecified; the checker matches multisets.
+func (r *regFile) OutstandingGrants(yield func(osm.Grant)) {
+	for m := range r.writers {
+		yield(osm.Grant{Owner: m, ID: WriterToken})
+	}
+}
+
 func (r *regFile) retire(m *osm.Machine) {
 	for _, d := range r.writers[m] {
 		r.pending[d]--

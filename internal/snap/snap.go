@@ -262,35 +262,68 @@ func (r *Reader) Blob() *Reader {
 
 // ZBytes reads a zero-run-compressed byte string written by
 // Writer.ZBytes.
+//
+// The wire-claimed total is never trusted before the run structure
+// has been walked against the actual input: a corrupt or truncated
+// stream fails having allocated nothing, so hostile snapshot uploads
+// cannot turn a handful of header bytes into a giant allocation. An
+// 8-byte run header can still legitimately expand into megabytes of
+// zeros (RAM images are mostly zero); the absolute zMax ceiling
+// bounds that expansion.
 func (r *Reader) ZBytes() []byte {
 	total := int(r.U32())
 	if r.err != nil {
 		return nil
 	}
-	// An 8-byte run header can legitimately expand into megabytes of
-	// zeros (RAM images are mostly zero), so the only meaningful guard
-	// is an absolute ceiling keeping corrupt input from driving an
-	// absurd allocation.
 	const zMax = 1 << 30
 	if total < 0 || total > zMax {
 		r.fail("zbytes: implausible total %d", total)
 		return nil
 	}
-	out := make([]byte, 0, total)
-	for len(out) < total {
+	// Cheapest plausibility test first: encoding any payload costs at
+	// least one (zero-run, literal) pair of 8 input bytes.
+	if total > 0 && len(r.buf)-r.pos < 8 {
+		r.fail("zbytes: total %d with only %d input byte(s) remaining",
+			total, len(r.buf)-r.pos)
+		return nil
+	}
+	// Validation pass: walk every run header and literal in place.
+	// Each pair must make progress and stay within total, so the walk
+	// is linear in the input and rejects non-canonical zero-progress
+	// pairs along the way.
+	start := r.pos
+	n := 0
+	for n < total {
 		z := int(r.U32())
 		l := int(r.U32())
 		if r.err != nil {
 			return nil
 		}
-		if z < 0 || l < 0 || len(out)+z+l > total {
-			r.fail("zbytes: run %d+%d exceeds total %d at %d", z, l, total, len(out))
+		if z < 0 || l < 0 || n+z+l > total {
+			r.fail("zbytes: run %d+%d exceeds total %d at %d", z, l, total, n)
 			return nil
 		}
-		out = append(out, make([]byte, z)...)
+		if z == 0 && l == 0 {
+			r.fail("zbytes: zero-progress run at %d (non-canonical)", n)
+			return nil
+		}
+		if r.take(l) == nil {
+			return nil
+		}
+		n += z + l
+	}
+	// Decode pass over the verified region. The single allocation
+	// happens only now, and extending into the fresh backing array
+	// materializes zero runs without writing them.
+	r.pos = start
+	out := make([]byte, 0, total)
+	for len(out) < total {
+		z := int(r.U32())
+		l := int(r.U32())
+		out = out[:len(out)+z]
 		lit := r.take(l)
 		if lit == nil {
-			return nil
+			return nil // unreachable after validation; keep the reader safe
 		}
 		out = append(out, lit...)
 	}
