@@ -8,7 +8,7 @@
 //
 //	osmbatch -mix -workers 4 -out results.json
 //	osmbatch -jobs jobs.json -checkpoint-dir ckpt -checkpoint-every 100000
-//	osmbatch -mix -n 60 -scheduler scan -deadline 2m
+//	osmbatch -mix -n 60 -scheduler compiled -deadline 2m
 //
 // The -jobs file is a JSON array of job objects:
 //
@@ -39,7 +39,7 @@ func run() int {
 		jobsFile  = flag.String("jobs", "", "JSON file with the job array")
 		mix       = flag.Bool("mix", false, "run the standard mixed ARM+PPC set over every workload")
 		n         = flag.Int("n", 0, "iteration count for -mix jobs (0 = per-workload default)")
-		scheduler = flag.String("scheduler", "event", "director scheduler: event or scan")
+		scheduler = flag.String("scheduler", "event", "execution engine: event, scan or compiled")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-job checkpoint files (enables resume)")
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "cycles between checkpoints (0 = none)")
 		deadline  = flag.Duration("deadline", 0, "per-job wall-clock deadline (0 = none)")
@@ -77,16 +77,14 @@ func run() int {
 	if len(jobs) == 0 {
 		return fail(fmt.Errorf("empty job set"))
 	}
-	scan := false
 	switch *scheduler {
-	case "event":
-	case "scan":
-		scan = true
+	case "event", "scan", "compiled":
 	default:
-		return fail(fmt.Errorf("unknown scheduler %q (want event or scan)", *scheduler))
+		return fail(fmt.Errorf("unknown scheduler %q (want event, scan or compiled)", *scheduler))
 	}
 	for i := range jobs {
-		jobs[i].Scan = scan
+		jobs[i].Scan = *scheduler == "scan"
+		jobs[i].Engine = *scheduler
 		jobs[i].Check = jobs[i].Check || *check
 		if *maxCycles > 0 {
 			jobs[i].MaxCycles = *maxCycles

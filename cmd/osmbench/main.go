@@ -11,6 +11,8 @@
 //	osmbench -speed ppc      # OSM vs SystemC-style speed (§5.2)
 //	osmbench -validate       # PPC-750 timing validation (§5.2)
 //	osmbench -fig2           # reservation-station paths (Figure 2)
+//	osmbench -engines        # execution-engine comparison (§ DESIGN.md 12)
+//	osmbench -speed ppc -engine compiled   # one engine for -speed runs
 //	osmbench -scale 4        # iteration-count multiplier
 //
 // Profiling the simulator hot path:
@@ -28,6 +30,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/osm"
 )
 
 func main() {
@@ -42,6 +45,8 @@ func run() int {
 		speed      = flag.String("speed", "", "speed comparison: arm or ppc")
 		validate   = flag.Bool("validate", false, "PPC-750 timing validation")
 		fig2       = flag.Bool("fig2", false, "reservation-station (Figure 2) comparison")
+		engineName = flag.String("engine", "", "execution engine for the -speed OSM models: event | scan | compiled")
+		engines    = flag.Bool("engines", false, "compare execution engines (compiled, event, scan) on both OSM case studies")
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Int("scale", experiments.DefaultScale, "workload iteration multiplier")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -53,6 +58,12 @@ func run() int {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "osmbench:", err)
 		code = 1
+	}
+
+	eng, err := osm.ParseEngine(*engineName)
+	if err != nil {
+		fail(err)
+		return code
 	}
 
 	if *cpuprofile != "" {
@@ -106,7 +117,7 @@ func run() int {
 	}
 	if *all || *speed == "arm" {
 		ran = true
-		rs, err := experiments.SpeedARM(*scale)
+		rs, err := experiments.SpeedARM(*scale, eng)
 		if err != nil {
 			fail(err)
 			return code
@@ -116,7 +127,7 @@ func run() int {
 	}
 	if *all || *speed == "ppc" {
 		ran = true
-		rs, err := experiments.SpeedPPC(*scale)
+		rs, err := experiments.SpeedPPC(*scale, eng)
 		if err != nil {
 			fail(err)
 			return code
@@ -132,6 +143,18 @@ func run() int {
 			return code
 		}
 		experiments.ValidateTable(rows).Fprint(os.Stdout)
+		fmt.Println()
+	}
+	if *all || *engines {
+		ran = true
+		arm, ppc, err := experiments.SpeedEngines(*scale)
+		if err != nil {
+			fail(err)
+			return code
+		}
+		experiments.SpeedTable("Execution engines: StrongARM (speedup vs scan reference)", arm).Fprint(os.Stdout)
+		fmt.Println()
+		experiments.SpeedTable("Execution engines: PPC-750 (speedup vs scan reference)", ppc).Fprint(os.Stdout)
 		fmt.Println()
 	}
 	if *all || *fig2 {

@@ -36,6 +36,7 @@ var (
 	imagePath = flag.String("image", "", "program image to run")
 	maxCycles = flag.Uint64("cycles", 1_000_000_000, "cycle budget")
 	perfect   = flag.Bool("perfect", false, "disable caches and TLBs")
+	engine    = flag.String("engine", "", "execution engine on OSM targets: event | scan | compiled")
 	trace     = flag.Bool("trace", false, "print every executed instruction")
 	jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 	check     = flag.Bool("check", false, "verify OSM invariants (token conservation, bindings, scheduling, livelock) every control step")
@@ -53,13 +54,14 @@ func main() {
 // ambiguous program-source combinations up front (before any file is
 // read) so the user sees one clear line instead of a silent
 // preference.
-func buildSpec(target, wlName string, iters int, srcPath, imagePath string, maxCycles uint64, perfect bool) (runner.Spec, error) {
+func buildSpec(target, wlName string, iters int, srcPath, imagePath string, maxCycles uint64, perfect bool, engine string) (runner.Spec, error) {
 	spec := runner.Spec{
 		Target:    target,
 		Workload:  wlName,
 		N:         iters,
 		MaxCycles: maxCycles,
 		Perfect:   perfect,
+		Engine:    engine,
 	}
 	// Stand-ins so Validate sees which sources were selected without
 	// touching the filesystem yet.
@@ -90,7 +92,7 @@ func buildSpec(target, wlName string, iters int, srcPath, imagePath string, maxC
 }
 
 func run(w io.Writer) error {
-	spec, err := buildSpec(*target, *wlName, *iters, *srcPath, *imagePath, *maxCycles, *perfect)
+	spec, err := buildSpec(*target, *wlName, *iters, *srcPath, *imagePath, *maxCycles, *perfect, *engine)
 	if err != nil {
 		return err
 	}

@@ -26,7 +26,7 @@ func TestBuildSpecRejectsAmbiguousSources(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := buildSpec("strongarm", tc.wl, 0, tc.src, tc.image, 0, false)
+			_, err := buildSpec("strongarm", tc.wl, 0, tc.src, tc.image, 0, false, "")
 			if err == nil {
 				t.Fatalf("buildSpec accepted %s", tc.name)
 			}
@@ -44,7 +44,7 @@ func TestBuildSpecRejectsAmbiguousSources(t *testing.T) {
 }
 
 func TestBuildSpecUnknownTarget(t *testing.T) {
-	_, err := buildSpec("vax", "gsm/dec", 0, "", "", 0, false)
+	_, err := buildSpec("vax", "gsm/dec", 0, "", "", 0, false, "")
 	if err == nil || !strings.Contains(err.Error(), "unknown target") {
 		t.Fatalf("want unknown-target error, got %v", err)
 	}
@@ -54,7 +54,7 @@ func TestBuildSpecUnknownTarget(t *testing.T) {
 // -src path plus a -workload reports the ambiguity, not the missing
 // file.
 func TestBuildSpecAmbiguityBeforeIO(t *testing.T) {
-	_, err := buildSpec("strongarm", "gsm/dec", 0, "/does/not/exist.s", "", 0, false)
+	_, err := buildSpec("strongarm", "gsm/dec", 0, "/does/not/exist.s", "", 0, false, "")
 	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
 		t.Fatalf("want ambiguity error before file read, got %v", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/osm"
 	"repro/internal/osm/invariant"
 	"repro/internal/sim/ppc750"
 	"repro/internal/sim/strongarm"
@@ -34,8 +35,14 @@ type Job struct {
 	// N is the iteration count (0 = the workload's default).
 	N int `json:"n"`
 	// Scan selects the reference scan scheduler instead of the
-	// event-driven one.
+	// event-driven one. It is the legacy form of Engine = "scan" and
+	// takes precedence.
 	Scan bool `json:"scan,omitempty"`
+	// Engine selects the execution engine: "event" (default), "scan"
+	// or "compiled". Engines are trace-equivalent, so checkpoints
+	// resume across engine changes (the field is not part of the job
+	// identity).
+	Engine string `json:"engine,omitempty"`
 	// MaxCycles bounds the run (0 = 20M).
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 	// PanicAt, when nonzero, makes the job panic at that cycle —
@@ -161,17 +168,23 @@ func buildSim(j Job) (batchSim, func() (uint64, uint64, []uint32, error), error)
 	if w == nil {
 		return nil, nil, fmt.Errorf("batch: unknown workload %q", j.Workload)
 	}
+	eng, err := osm.ParseEngine(j.Engine)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batch: %v", err)
+	}
+	if j.Scan {
+		eng = osm.EngineScan
+	}
 	switch j.Arch {
 	case "arm":
 		p, err := w.ARMProgram(j.N)
 		if err != nil {
 			return nil, nil, err
 		}
-		s, err := strongarm.New(p, strongarm.Config{})
+		s, err := strongarm.New(p, strongarm.Config{Engine: eng})
 		if err != nil {
 			return nil, nil, err
 		}
-		s.Director().Scan = j.Scan
 		if j.Check {
 			invariant.Attach(s.Director())
 		}
@@ -185,11 +198,10 @@ func buildSim(j Job) (batchSim, func() (uint64, uint64, []uint32, error), error)
 		if err != nil {
 			return nil, nil, err
 		}
-		s, err := ppc750.New(p, ppc750.Config{})
+		s, err := ppc750.New(p, ppc750.Config{Engine: eng})
 		if err != nil {
 			return nil, nil, err
 		}
-		s.Director().Scan = j.Scan
 		if j.Check {
 			invariant.Attach(s.Director())
 		}
@@ -438,11 +450,13 @@ func (r *Runner) removeCheckpoint(j Job) {
 }
 
 // jobIdentity strips the fields that do not affect simulation state
-// (fault injection is driver-side, and the invariant checker is a
-// pure observer), so checkpoints resume across differing settings.
+// (fault injection is driver-side, the invariant checker is a pure
+// observer, and execution engines are trace-equivalent), so
+// checkpoints resume across differing settings.
 func jobIdentity(j Job) Job {
 	j.PanicAt = 0
 	j.Check = false
+	j.Engine = ""
 	return j
 }
 

@@ -122,11 +122,11 @@ func runCycles(t *testing.T, s checkSim, n uint64) {
 
 const ckptLimit = 2_000_000
 
-func checkpointResume(t *testing.T, fx ckptFixture, scan bool) {
+func checkpointResume(t *testing.T, fx ckptFixture, eng osm.Engine) {
 	t.Helper()
 	// Uninterrupted reference run with a full trace.
 	ref := fx.build(t)
-	ref.Director().Scan = scan
+	ref.Director().Engine = eng
 	refRec := osm.NewRecorder()
 	ref.Director().Tracer = refRec
 	runToEnd(t, ref, ckptLimit)
@@ -140,7 +140,7 @@ func checkpointResume(t *testing.T, fx ckptFixture, scan bool) {
 	for _, c := range []uint64{total / 4, total / 2, 3 * total / 4} {
 		// Fresh simulator to cycle C, snapshot there.
 		src := fx.build(t)
-		src.Director().Scan = scan
+		src.Director().Engine = eng
 		runCycles(t, src, c)
 		blob, err := src.Snapshot()
 		if err != nil {
@@ -149,7 +149,7 @@ func checkpointResume(t *testing.T, fx ckptFixture, scan bool) {
 		// Snapshot must be deterministic: a second fresh run to the
 		// same cycle yields identical bytes.
 		src2 := fx.build(t)
-		src2.Director().Scan = scan
+		src2.Director().Engine = eng
 		runCycles(t, src2, c)
 		blob2, err := src2.Snapshot()
 		if err != nil {
@@ -162,7 +162,7 @@ func checkpointResume(t *testing.T, fx ckptFixture, scan bool) {
 
 		// Restore into a fresh simulator and run to the end.
 		dst := fx.build(t)
-		dst.Director().Scan = scan
+		dst.Director().Engine = eng
 		if err := dst.Restore(blob); err != nil {
 			t.Fatalf("%s: restore at %d: %v", fx.label, c, err)
 		}
@@ -201,13 +201,67 @@ func ckptWorkloadFixtures(t *testing.T) []ckptFixture {
 
 func TestCheckpointResumeScan(t *testing.T) {
 	for _, fx := range ckptWorkloadFixtures(t) {
-		t.Run(fx.label, func(t *testing.T) { checkpointResume(t, fx, true) })
+		t.Run(fx.label, func(t *testing.T) { checkpointResume(t, fx, osm.EngineScan) })
 	}
 }
 
 func TestCheckpointResumeEvent(t *testing.T) {
 	for _, fx := range ckptWorkloadFixtures(t) {
-		t.Run(fx.label, func(t *testing.T) { checkpointResume(t, fx, false) })
+		t.Run(fx.label, func(t *testing.T) { checkpointResume(t, fx, osm.EngineEvent) })
+	}
+}
+
+func TestCheckpointResumeCompiled(t *testing.T) {
+	for _, fx := range ckptWorkloadFixtures(t) {
+		t.Run(fx.label, func(t *testing.T) { checkpointResume(t, fx, osm.EngineCompiled) })
+	}
+}
+
+// TestCheckpointCrossEngine checks that snapshots are engine-neutral
+// in both directions: a snapshot taken mid-run under the compiled
+// engine restores into a simulator running any engine (compiled state
+// is derived from the model, never serialized), and the resumed run
+// reproduces the uninterrupted reference trace's tail exactly.
+func TestCheckpointCrossEngine(t *testing.T) {
+	for _, fx := range ckptWorkloadFixtures(t) {
+		t.Run(fx.label, func(t *testing.T) {
+			ref := fx.build(t)
+			refRec := osm.NewRecorder()
+			ref.Director().Tracer = refRec
+			runToEnd(t, ref, ckptLimit)
+			refRun := fx.final(ref)
+			refRun.events = refRec.Events()
+			c := refRun.cycles / 2
+
+			src := fx.build(t)
+			src.Director().Engine = osm.EngineCompiled
+			runCycles(t, src, c)
+			blob, err := src.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot at %d: %v", c, err)
+			}
+			var tail []osm.Event
+			for _, ev := range refRun.events {
+				if ev.Step >= c {
+					tail = append(tail, ev)
+				}
+			}
+			want := refRun
+			want.events = tail
+			for _, eng := range []osm.Engine{osm.EngineScan, osm.EngineEvent, osm.EngineCompiled} {
+				dst := fx.build(t)
+				dst.Director().Engine = eng
+				if err := dst.Restore(blob); err != nil {
+					t.Fatalf("restore into %v: %v", eng, err)
+				}
+				dstRec := osm.NewRecorder()
+				dst.Director().Tracer = dstRec
+				runToEnd(t, dst, ckptLimit)
+				got := fx.final(dst)
+				got.events = dstRec.Events()
+				compareRuns(t, fx.label+"/"+eng.String(), want, got)
+			}
+		})
 	}
 }
 

@@ -9,69 +9,73 @@ import (
 	"repro/internal/workload"
 )
 
-// These tests run the two case-study models under the reference scan
-// scheduler and the event-driven scheduler in lockstep and require
-// bit-identical behavior: the full transition trace, the cycle count,
-// and the final architectural state. They are the system-level
-// counterpart of the model-level equivalence tests in internal/osm —
-// if the event-driven director ever diverges from Figure 3 on a real
-// machine description, these fail with the first differing
+// These tests run the two case-study models under every execution
+// engine — the reference scan scheduler, the event-driven scheduler
+// and the compiled guard-program engine — in lockstep and require
+// bit-identical behavior: the full transition trace (and its running
+// checksum), the cycle count, and the final architectural state. They
+// are the system-level counterpart of the model-level equivalence
+// tests in internal/osm — if an engine ever diverges from Figure 3 on
+// a real machine description, these fail with the first differing
 // transition.
 
 // diffRun captures everything observable about one simulation run.
 type diffRun struct {
 	events   []osm.Event
+	checksum uint64
 	cycles   uint64
 	instrs   uint64
 	reported []uint32
 	regs     []uint32
 }
 
-func compareRuns(t *testing.T, label string, scan, event diffRun) {
+func compareRuns(t *testing.T, label string, ref, got diffRun) {
 	t.Helper()
-	n := len(scan.events)
-	if len(event.events) < n {
-		n = len(event.events)
+	n := len(ref.events)
+	if len(got.events) < n {
+		n = len(got.events)
 	}
 	for i := 0; i < n; i++ {
-		if scan.events[i] != event.events[i] {
-			t.Fatalf("%s: traces diverge at transition %d:\n  scan:  %+v\n  event: %+v",
-				label, i, scan.events[i], event.events[i])
+		if ref.events[i] != got.events[i] {
+			t.Fatalf("%s: traces diverge at transition %d:\n  ref: %+v\n  got: %+v",
+				label, i, ref.events[i], got.events[i])
 		}
 	}
-	if len(scan.events) != len(event.events) {
-		t.Fatalf("%s: trace lengths differ: scan %d vs event %d", label, len(scan.events), len(event.events))
+	if len(ref.events) != len(got.events) {
+		t.Fatalf("%s: trace lengths differ: ref %d vs got %d", label, len(ref.events), len(got.events))
 	}
-	if scan.cycles != event.cycles || scan.instrs != event.instrs {
-		t.Fatalf("%s: totals differ: scan %d cycles/%d instrs vs event %d cycles/%d instrs",
-			label, scan.cycles, scan.instrs, event.cycles, event.instrs)
+	if ref.checksum != got.checksum {
+		t.Fatalf("%s: trace checksums differ: %#x vs %#x", label, ref.checksum, got.checksum)
 	}
-	if len(scan.reported) != len(event.reported) {
-		t.Fatalf("%s: reported-value counts differ: %d vs %d", label, len(scan.reported), len(event.reported))
+	if ref.cycles != got.cycles || ref.instrs != got.instrs {
+		t.Fatalf("%s: totals differ: ref %d cycles/%d instrs vs got %d cycles/%d instrs",
+			label, ref.cycles, ref.instrs, got.cycles, got.instrs)
 	}
-	for i := range scan.reported {
-		if scan.reported[i] != event.reported[i] {
-			t.Fatalf("%s: reported value %d differs: %d vs %d", label, i, scan.reported[i], event.reported[i])
+	if len(ref.reported) != len(got.reported) {
+		t.Fatalf("%s: reported-value counts differ: %d vs %d", label, len(ref.reported), len(got.reported))
+	}
+	for i := range ref.reported {
+		if ref.reported[i] != got.reported[i] {
+			t.Fatalf("%s: reported value %d differs: %d vs %d", label, i, ref.reported[i], got.reported[i])
 		}
 	}
-	for i := range scan.regs {
-		if scan.regs[i] != event.regs[i] {
-			t.Fatalf("%s: final r%d differs: %#x vs %#x", label, i, scan.regs[i], event.regs[i])
+	for i := range ref.regs {
+		if ref.regs[i] != got.regs[i] {
+			t.Fatalf("%s: final r%d differs: %#x vs %#x", label, i, ref.regs[i], got.regs[i])
 		}
 	}
 }
 
-func runARMDiff(t *testing.T, w *workload.Workload, n int, restart, scan bool) diffRun {
+func runARMDiff(t *testing.T, w *workload.Workload, n int, restart bool, eng osm.Engine) diffRun {
 	t.Helper()
 	p, err := w.ARMProgram(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := strongarm.New(p, strongarm.Config{Restart: restart})
+	s, err := strongarm.New(p, strongarm.Config{Restart: restart, Engine: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Director().Scan = scan
 	rec := osm.NewRecorder()
 	s.Director().Tracer = rec
 	st, err := s.Run(20_000_000)
@@ -80,6 +84,7 @@ func runARMDiff(t *testing.T, w *workload.Workload, n int, restart, scan bool) d
 	}
 	return diffRun{
 		events:   rec.Events(),
+		checksum: rec.Checksum(),
 		cycles:   st.Cycles,
 		instrs:   st.Instrs,
 		reported: s.ISS.Reported,
@@ -87,17 +92,16 @@ func runARMDiff(t *testing.T, w *workload.Workload, n int, restart, scan bool) d
 	}
 }
 
-func runPPCDiff(t *testing.T, w *workload.Workload, n int, noRestart, scan bool) diffRun {
+func runPPCDiff(t *testing.T, w *workload.Workload, n int, noRestart bool, eng osm.Engine) diffRun {
 	t.Helper()
 	p, err := w.PPCProgram(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := ppc750.New(p, ppc750.Config{NoRestart: noRestart})
+	s, err := ppc750.New(p, ppc750.Config{NoRestart: noRestart, Engine: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Director().Scan = scan
 	rec := osm.NewRecorder()
 	s.Director().Tracer = rec
 	st, err := s.Run(20_000_000)
@@ -106,6 +110,7 @@ func runPPCDiff(t *testing.T, w *workload.Workload, n int, noRestart, scan bool)
 	}
 	return diffRun{
 		events:   rec.Events(),
+		checksum: rec.Checksum(),
 		cycles:   st.Cycles,
 		instrs:   st.Instrs,
 		reported: s.ISS.Reported,
@@ -134,16 +139,18 @@ func diffWorkloads(t *testing.T) []struct {
 func TestDifferentialStrongARM(t *testing.T) {
 	for _, wl := range diffWorkloads(t) {
 		for _, restart := range []bool{false, true} {
-			scan := runARMDiff(t, wl.w, wl.n, restart, true)
-			event := runARMDiff(t, wl.w, wl.n, restart, false)
-			if len(scan.events) == 0 {
+			ref := runARMDiff(t, wl.w, wl.n, restart, osm.EngineScan)
+			if len(ref.events) == 0 {
 				t.Fatalf("%s: reference run recorded no transitions", wl.w.Name)
 			}
-			label := wl.w.Name
-			if restart {
-				label += "/restart"
+			for _, eng := range []osm.Engine{osm.EngineEvent, osm.EngineCompiled} {
+				got := runARMDiff(t, wl.w, wl.n, restart, eng)
+				label := wl.w.Name + "/" + eng.String()
+				if restart {
+					label += "/restart"
+				}
+				compareRuns(t, label, ref, got)
 			}
-			compareRuns(t, label, scan, event)
 		}
 	}
 }
@@ -151,16 +158,18 @@ func TestDifferentialStrongARM(t *testing.T) {
 func TestDifferentialPPC750(t *testing.T) {
 	for _, wl := range diffWorkloads(t) {
 		for _, noRestart := range []bool{false, true} {
-			scan := runPPCDiff(t, wl.w, wl.n, noRestart, true)
-			event := runPPCDiff(t, wl.w, wl.n, noRestart, false)
-			if len(scan.events) == 0 {
+			ref := runPPCDiff(t, wl.w, wl.n, noRestart, osm.EngineScan)
+			if len(ref.events) == 0 {
 				t.Fatalf("%s: reference run recorded no transitions", wl.w.Name)
 			}
-			label := wl.w.Name
-			if noRestart {
-				label += "/norestart"
+			for _, eng := range []osm.Engine{osm.EngineEvent, osm.EngineCompiled} {
+				got := runPPCDiff(t, wl.w, wl.n, noRestart, eng)
+				label := wl.w.Name + "/" + eng.String()
+				if noRestart {
+					label += "/norestart"
+				}
+				compareRuns(t, label, ref, got)
 			}
-			compareRuns(t, label, scan, event)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline/hwcentric"
 	"repro/internal/baseline/sscalar"
 	"repro/internal/mem"
+	"repro/internal/osm"
 	"repro/internal/sim/ppc750"
 	"repro/internal/sim/strongarm"
 	"repro/internal/stats"
@@ -216,36 +217,73 @@ func speedResult(name string, cycles, instrs uint64, wall time.Duration) SpeedRe
 	}
 }
 
-// SpeedARM measures simulation speed of the StrongARM OSM model and
-// the SimpleScalar-style baseline over the benchmark mix (the paper
-// reports 650k versus 550k cycles/sec).
-func SpeedARM(scale int) ([]SpeedResult, error) {
-	var osmCycles, osmInstrs, ssCycles, ssInstrs uint64
-	var osmWall, ssWall time.Duration
+// speedARMOSM runs the full StrongARM benchmark mix under the given
+// engine, accumulating cycles, instructions and wall time.
+func speedARMOSM(scale int, eng osm.Engine) (cycles, instrs uint64, wall time.Duration, err error) {
 	for _, w := range workload.All() {
-		n := w.DefaultN * scale
-		p, err := w.ARMProgram(n)
+		p, err := w.ARMProgram(w.DefaultN * scale)
 		if err != nil {
-			return nil, err
+			return 0, 0, 0, err
 		}
-		model, err := strongarm.New(p, strongarm.Config{})
+		model, err := strongarm.New(p, strongarm.Config{Engine: eng})
 		if err != nil {
-			return nil, err
+			return 0, 0, 0, err
 		}
 		start := time.Now()
 		st, err := model.Run(10_000_000_000)
 		if err != nil {
+			return 0, 0, 0, err
+		}
+		wall += time.Since(start)
+		cycles += st.Cycles
+		instrs += st.Instrs
+	}
+	return cycles, instrs, wall, nil
+}
+
+// speedPPCOSM runs the PPC-750 benchmark mix under the given engine.
+func speedPPCOSM(scale int, eng osm.Engine) (cycles, instrs uint64, wall time.Duration, err error) {
+	for _, w := range workload.Mix() {
+		p, err := w.PPCProgram(w.DefaultN * scale)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		model, err := ppc750.New(p, ppc750.Config{Engine: eng})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		start := time.Now()
+		st, err := model.Run(10_000_000_000)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		wall += time.Since(start)
+		cycles += st.Cycles
+		instrs += st.Instrs
+	}
+	return cycles, instrs, wall, nil
+}
+
+// SpeedARM measures simulation speed of the StrongARM OSM model and
+// the SimpleScalar-style baseline over the benchmark mix (the paper
+// reports 650k versus 550k cycles/sec). The OSM model runs under eng.
+func SpeedARM(scale int, eng osm.Engine) ([]SpeedResult, error) {
+	osmCycles, osmInstrs, osmWall, err := speedARMOSM(scale, eng)
+	if err != nil {
+		return nil, err
+	}
+	var ssCycles, ssInstrs uint64
+	var ssWall time.Duration
+	for _, w := range workload.All() {
+		p, err := w.ARMProgram(w.DefaultN * scale)
+		if err != nil {
 			return nil, err
 		}
-		osmWall += time.Since(start)
-		osmCycles += st.Cycles
-		osmInstrs += st.Instrs
-
 		base, err := sscalar.New(p, sscalar.Config{})
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
+		start := time.Now()
 		bst, err := base.Run(10_000_000_000)
 		if err != nil {
 			return nil, err
@@ -260,36 +298,46 @@ func SpeedARM(scale int) ([]SpeedResult, error) {
 	}, nil
 }
 
+// SpeedEngines measures both OSM case studies under every execution
+// engine over their full benchmark mixes. Within each group the rows
+// are ordered compiled, event, scan, so SpeedTable's speedup column
+// reads as gain over the scan reference interpreter (the last row).
+func SpeedEngines(scale int) (arm, ppc []SpeedResult, err error) {
+	for _, eng := range []osm.Engine{osm.EngineCompiled, osm.EngineEvent, osm.EngineScan} {
+		cycles, instrs, wall, err := speedARMOSM(scale, eng)
+		if err != nil {
+			return nil, nil, err
+		}
+		arm = append(arm, speedResult("StrongARM "+eng.String(), cycles, instrs, wall))
+		cycles, instrs, wall, err = speedPPCOSM(scale, eng)
+		if err != nil {
+			return nil, nil, err
+		}
+		ppc = append(ppc, speedResult("PPC-750 "+eng.String(), cycles, instrs, wall))
+	}
+	return arm, ppc, nil
+}
+
 // SpeedPPC measures simulation speed of the PowerPC 750 OSM model
 // and the SystemC-style baseline (the paper reports the OSM model at
-// 4x the SystemC model's speed).
-func SpeedPPC(scale int) ([]SpeedResult, error) {
-	var osmCycles, osmInstrs, hwCycles, hwInstrs uint64
-	var osmWall, hwWall time.Duration
+// 4x the SystemC model's speed). The OSM model runs under eng.
+func SpeedPPC(scale int, eng osm.Engine) ([]SpeedResult, error) {
+	osmCycles, osmInstrs, osmWall, err := speedPPCOSM(scale, eng)
+	if err != nil {
+		return nil, err
+	}
+	var hwCycles, hwInstrs uint64
+	var hwWall time.Duration
 	for _, w := range workload.Mix() {
-		n := w.DefaultN * scale
-		p, err := w.PPCProgram(n)
+		p, err := w.PPCProgram(w.DefaultN * scale)
 		if err != nil {
 			return nil, err
 		}
-		model, err := ppc750.New(p, ppc750.Config{})
-		if err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		st, err := model.Run(10_000_000_000)
-		if err != nil {
-			return nil, err
-		}
-		osmWall += time.Since(start)
-		osmCycles += st.Cycles
-		osmInstrs += st.Instrs
-
 		hw, err := hwcentric.New(p, hwcentric.Config{})
 		if err != nil {
 			return nil, err
 		}
-		start = time.Now()
+		start := time.Now()
 		hst, err := hw.Run(10_000_000_000)
 		if err != nil {
 			return nil, err

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/osm"
 )
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
@@ -67,7 +69,7 @@ func TestSpeedARMShape(t *testing.T) {
 	if raceEnabled {
 		t.Skip("absolute-speed floor is meaningless under the race detector")
 	}
-	rs, err := SpeedARM(1)
+	rs, err := SpeedARM(1, osm.EngineEvent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestSpeedPPCShape(t *testing.T) {
 	if raceEnabled {
 		t.Skip("absolute-speed floor is meaningless under the race detector")
 	}
-	rs, err := SpeedPPC(1)
+	rs, err := SpeedPPC(1, osm.EngineEvent)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,6 +84,17 @@ func BenchmarkDirectorStepEventDriven(b *testing.B) {
 	benchSteps(b, d)
 }
 
+// BenchmarkDirectorStepPipelineCompiled runs the saturated ring
+// through compiled guard programs (EngineCompiled). The CI bench-smoke
+// job holds it to within 10% of the event-driven interpreter on this
+// micro-model; the macro speedups are measured in
+// internal/experiments (SpeedEngines).
+func BenchmarkDirectorStepPipelineCompiled(b *testing.B) {
+	d := benchPipeline()
+	d.Engine = EngineCompiled
+	benchSteps(b, d)
+}
+
 func BenchmarkDirectorStepIdle(b *testing.B) {
 	benchSteps(b, benchIdle())
 }
@@ -97,6 +108,19 @@ func BenchmarkDirectorStepIdleScan(b *testing.B) {
 func BenchmarkDirectorStepEventDrivenIdle(b *testing.B) {
 	d := benchIdle()
 	d.Scan = false
+	benchSteps(b, d)
+}
+
+// BenchmarkDirectorStepIdleCompiled measures the idle step under the
+// compiled engine. Together with the Idle and IdleScan variants it
+// backs the 0 allocs/op claim for the idle path of all three engines
+// (every benchSteps reports allocations).
+func BenchmarkDirectorStepIdleCompiled(b *testing.B) {
+	d := benchIdle()
+	d.Engine = EngineCompiled
+	if err := d.Step(); err != nil { // compile + settle under the new engine
+		b.Fatal(err)
+	}
 	benchSteps(b, d)
 }
 

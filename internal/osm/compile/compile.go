@@ -1,0 +1,59 @@
+// Package compile is the public surface of the guard-program compile
+// stage: it lowers an assembled OSM model — built in Go (the
+// StrongARM and PPC-750 case studies) or elaborated from an ADL
+// description — into flat guard programs the director's compiled
+// engine executes without interface dispatch or per-try allocation.
+//
+// The lowering itself lives next to the executor in package osm
+// (it reads manager internals the fast paths are specialized
+// against); this package packages it for tooling: compile-and-attach
+// helpers, the ADL front end, and the stats/disassembly surface the
+// CLI and tests report. DESIGN.md §12 describes the IR and the
+// check-then-commit equivalence argument.
+package compile
+
+import (
+	"repro/internal/adl"
+	"repro/internal/osm"
+)
+
+// Program is a compiled guard program (re-exported from osm, where
+// the executor lives).
+type Program = osm.GuardProgram
+
+// Stats summarizes one lowering (re-exported from osm).
+type Stats = osm.CompileStats
+
+// Compile lowers the director's current model into a guard program.
+// The result is cached on the director and invalidated by model
+// edits; compiling does not change the director's engine.
+func Compile(d *osm.Director) (*Program, error) { return d.Compile() }
+
+// Attach lowers the director's model and switches it to the compiled
+// engine, so the next Step executes guard programs. Lowering errors
+// surface here instead of on the first step.
+func Attach(d *osm.Director) (*Program, error) {
+	g, err := d.Compile()
+	if err != nil {
+		return nil, err
+	}
+	d.Engine = osm.EngineCompiled
+	return g, nil
+}
+
+// Build parses and elaborates an ADL description, then compiles it:
+// the whole retargeting path — description in, executable guard
+// programs out. Any description that elaborates also compiles; the
+// compile stage can only reject guards elaboration would already have
+// refused (FuzzCompile enforces this).
+func Build(src string, bindings map[string]adl.Binding) (*adl.Model, *Program, error) {
+	model, err := adl.Build(src, bindings)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := model.Director.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, g, nil
+}

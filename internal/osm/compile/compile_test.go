@@ -1,0 +1,170 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adl"
+	"repro/internal/osm"
+)
+
+// pipelineSrc is a small three-stage pipeline description exercising
+// every manager kind the library elaborates.
+const pipelineSrc = `model pipe {
+  managers { unit f(1); unit x(1); queue cq(4); regfile rf(8); reset R; }
+  states { idle*, fetch, exec, done }
+  edges {
+    e0: idle -> fetch [ alloc f.* ];
+    e1: fetch -> exec [ release f.*, alloc x.*, inquire rf.$src ];
+    e2: exec -> done [ release x.*, alloc cq.* ];
+    e3: done -> idle [ release cq.* ];
+    r0: exec -> idle reset;
+  }
+  machines 4;
+}`
+
+func pipelineBindings() map[string]adl.Binding {
+	return map[string]adl.Binding{
+		"src": func(*osm.Machine) osm.TokenID { return 2 },
+	}
+}
+
+// TestBuildCompilesPipeline drives the whole retargeting path:
+// description in, guard programs out, then runs the model under the
+// compiled engine.
+func TestBuildCompilesPipeline(t *testing.T) {
+	model, g, err := Build(pipelineSrc, pipelineBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.States != 4 || st.Edges == 0 || st.Instrs == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	// The only generic instruction is the reset edge's discard-all,
+	// which names no manager; every library manager devirtualizes.
+	if st.Generic != 1 {
+		t.Fatalf("library managers must all devirtualize, got %+v", st)
+	}
+	dis := g.Disassemble()
+	for _, frag := range []string{"state idle:", "edge e0 -> fetch:", "allocate"} {
+		if !strings.Contains(dis, frag) {
+			t.Errorf("disassembly is missing %q:\n%s", frag, dis)
+		}
+	}
+	if _, err := Attach(model.Director); err != nil {
+		t.Fatal(err)
+	}
+	if model.Director.Engine != osm.EngineCompiled {
+		t.Fatal("Attach did not select the compiled engine")
+	}
+	for i := 0; i < 20; i++ {
+		if err := model.Director.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompileDoesNotChangeEngine pins the Compile/Attach split.
+func TestCompileDoesNotChangeEngine(t *testing.T) {
+	model, err := adl.Build(pipelineSrc, pipelineBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(model.Director); err != nil {
+		t.Fatal(err)
+	}
+	if model.Director.Engine != osm.EngineEvent {
+		t.Fatalf("Compile changed the engine to %v", model.Director.Engine)
+	}
+}
+
+// TestAttachSurfacesCompileErrors checks that a model the lowering
+// rejects fails at Attach, not on the first step.
+func TestAttachSurfacesCompileErrors(t *testing.T) {
+	i, s := osm.NewState("I"), osm.NewState("S")
+	i.Connect("bad", s, osm.Primitive{Op: osm.OpAllocate, Mgr: nil})
+	d := osm.NewDirector()
+	d.AddMachine(osm.NewMachine("m", i))
+	if _, err := Attach(d); err == nil || !strings.Contains(err.Error(), "no manager") {
+		t.Fatalf("Attach() = %v; want a no-manager error", err)
+	}
+	if d.Engine == osm.EngineCompiled {
+		t.Fatal("Attach selected the compiled engine despite the compile error")
+	}
+}
+
+// FuzzCompile fuzzes the compile stage behind the untrusted ADL
+// front end with two properties. First, totality: any description
+// that elaborates also compiles — the compile stage may only reject
+// guards elaboration would already have refused. Second, probe
+// agreement: on every state a short compiled-engine run reaches, the
+// compiled probe and the interpreted Machine.ProbeEdge return the
+// same verdict for every machine and outgoing edge.
+func FuzzCompile(f *testing.F) {
+	f.Add(pipelineSrc)
+	f.Add("model m { states { a* } machines 1; }")
+	f.Add(`model m {
+  managers { unit u(1); pool p(2); queue q(4); regfile rf(8); bypass by; reset R; }
+  states { a*, b, c }
+  edges {
+    e0: a -> b [ alloc u.*, inquire rf.$src, alloc rf.!$dst ];
+    e1: b -> c [ release u.*, alloc q.0, discard * ];
+    e2: c -> a [ release rf.!$dst ];
+    r0: b -> a reset;
+  }
+  machines 4;
+}`)
+	f.Add("model m { managers { pool p(1); } states { a*, b } edges { e: a -> b [ alloc p.*, alloc p.* ]; } machines 2; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 16<<10 {
+			return // bound fuzz cost, not a parser limit
+		}
+		spec, err := adl.Parse(src)
+		if err != nil {
+			return
+		}
+		bindings := map[string]adl.Binding{}
+		for _, e := range spec.Edges {
+			for _, p := range e.Prims {
+				if p.Form == adl.IDBound {
+					bindings[p.Binding] = func(*osm.Machine) osm.TokenID { return 0 }
+				}
+			}
+		}
+		model, err := adl.Elaborate(spec, bindings)
+		if err != nil {
+			return
+		}
+		d := model.Director
+		if len(d.Machines()) > 64 {
+			return // bound fuzz cost
+		}
+		g, err := d.Compile()
+		if err != nil {
+			t.Fatalf("model elaborates but does not compile: %v\nsource: %q", err, src)
+		}
+		d.Engine = osm.EngineCompiled
+		for i := 0; i < 8; i++ {
+			for _, m := range d.Machines() {
+				for _, e := range m.State().Out {
+					want := m.ProbeEdge(e)
+					got, err := g.Probe(m, e)
+					if err != nil {
+						t.Fatalf("step %d: Probe(%s, %s): %v\nsource: %q", i, m.Name, e.Name, err, src)
+					}
+					if got != want {
+						t.Fatalf("step %d: machine %s edge %s: compiled probe %v, interpreted %v\nsource: %q",
+							i, m.Name, e.Name, got, want, src)
+					}
+				}
+			}
+			if err := d.Step(); err != nil {
+				// A model-level runtime error (an unreleasable token,
+				// an exhausted manager) ends the run; it is the same
+				// error under every engine.
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,996 @@
+package osm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the compiled execution engine (EngineCompiled):
+// a compile stage that lowers a model's state graphs into flat,
+// cache-friendly guard programs, and an executor that runs them under
+// the event-driven scheduler without interface dispatch on the hot
+// path.
+//
+// The interpreted evaluator (Machine.tryEdge) walks each edge's
+// []Primitive and issues every transaction through the TokenManager
+// interface: an itab load and indirect call per primitive per attempt,
+// plus an identifier-function call for dynamic identifiers. Lowering
+// runs once per model and moves all of that resolution to compile
+// time:
+//
+//   - every primitive becomes one guardInstr carrying its operation,
+//     its pre-resolved fixed identifier or memo slot, and a
+//     concrete-type manager pointer when the manager is one of the
+//     built-ins (pool, queue, regfile, unit, reset, bypass);
+//   - the executor dispatches on a dense kind tag and calls the
+//     concrete methods directly, so the calls are statically bound
+//     (and the built-ins' no-op commit/cancel methods disappear
+//     entirely instead of costing an interface call);
+//   - managers of model-defined types keep the interface path, so
+//     custom managers — including types embedding a built-in, which a
+//     dynamic type switch deliberately does not match — behave
+//     exactly as interpreted.
+//
+// Compiled state is derived: it is rebuilt from the model on demand
+// (AddMachine/AddManager invalidate it) and is never serialized, so
+// snapshots taken under any engine restore under any other.
+
+// mgrKind classifies a lowered primitive's manager for devirtualized
+// dispatch. kindGeneric keeps the TokenManager interface path.
+type mgrKind uint8
+
+const (
+	kindGeneric mgrKind = iota
+	kindPool
+	kindQueue
+	kindRegFile
+	kindUnit
+	kindReset
+	kindBypass
+	// kindChecked marks a custom manager that implements
+	// CheckableManager: dispatch stays on the interface, but the edge
+	// may still take the check-then-commit fast path.
+	kindChecked
+)
+
+func (k mgrKind) String() string {
+	switch k {
+	case kindPool:
+		return "pool"
+	case kindQueue:
+		return "queue"
+	case kindRegFile:
+		return "regfile"
+	case kindUnit:
+		return "unit"
+	case kindReset:
+		return "reset"
+	case kindBypass:
+		return "bypass"
+	case kindChecked:
+		return "checked"
+	}
+	return "generic"
+}
+
+// guardInstr is one lowered guard conjunct. Exactly one of the
+// concrete manager pointers is set for built-in kinds; mgr always
+// holds the interface value (nil only for manager-less discards).
+type guardInstr struct {
+	op   Op
+	kind mgrKind
+	dyn  bool  // identifier comes from an IDFunc via the memo slot
+	slot int32 // memo slot (1-based; 0 = unmemoized fallback)
+
+	fixed TokenID
+	prim  *Primitive // original conjunct: blocked lists, IDFunc, discard
+
+	mgr   TokenManager
+	chk   CheckableManager // non-nil exactly when kind == kindChecked
+	pool  *PoolManager
+	queue *QueueManager
+	rf    *RegFileManager
+	unit  *UnitManager
+	reset *ResetManager
+	byp   *BypassManager
+}
+
+// compEdge is one lowered edge: the original edge (for When, Action,
+// destination and tracing) plus its flat instruction array. Every
+// instruction appends exactly one pending transaction, so commit and
+// cancel walk code and pend in lockstep by index.
+//
+// pure marks edges the executor may run check-then-commit (see
+// tryEdgePure): the compile stage proved from the built-in managers'
+// semantics that the guard can be decided by pure availability reads,
+// with the transactions applied only once the whole conjunction is
+// known to hold — no tentative grants, no pending-transaction
+// bookkeeping, no cancellation. This is sound because every manager a
+// pure edge touches reverses cancelled tentative grants exactly
+// (CancelAllocate leaves the manager bit-identical, sequence counters
+// included), so skipping the grant-then-cancel dance leaves the same
+// state the interpreter would.
+type compEdge struct {
+	e    *Edge
+	code []guardInstr
+	pure bool
+	// scratch is per-attempt working space indexed like code (token-
+	// buffer positions found by the pure check pass, consumed by the
+	// commit pass). Directors step single-threaded and each director
+	// compiles its own program, so one scratch per lowered edge
+	// suffices.
+	scratch []int32
+}
+
+// compState is one lowered state: its outgoing edges in priority
+// order.
+type compState struct {
+	prog  *GuardProgram
+	s     *State
+	edges []compEdge
+}
+
+// CompileStats summarizes a compiled guard program.
+type CompileStats struct {
+	// States, Edges and Instrs count the lowered model elements.
+	States, Edges, Instrs int
+	// Devirtualized counts instructions bound to a concrete built-in
+	// manager type; Generic counts instructions that keep interface
+	// dispatch (custom managers and manager-less discards); Checked
+	// counts interface-dispatched instructions whose manager
+	// implements CheckableManager and so still qualifies for the
+	// check-then-commit fast path.
+	Devirtualized, Generic, Checked int
+	// Dynamic counts instructions whose identifier is computed by an
+	// IDFunc through a memo slot.
+	Dynamic int
+	// Pure counts edges eligible for the check-then-commit fast path
+	// (guards decided by pure availability reads, transactions applied
+	// only on success).
+	Pure int
+}
+
+// GuardProgram is a model lowered to flat guard instruction arrays,
+// executed by the compiled engine (EngineCompiled). Build one with
+// Director.Compile; it stays valid until machines or managers are
+// added. A program is derived state: it is excluded from snapshots
+// and rebuilt on demand instead.
+type GuardProgram struct {
+	dir     *Director
+	states  []*compState
+	byState map[*State]*compState
+	stats   CompileStats
+}
+
+// Compile lowers every state graph reachable from the registered
+// machines' initial states into a guard program, building it on first
+// use and returning the cached program afterwards. Setting Engine to
+// EngineCompiled compiles implicitly on the first Step; calling
+// Compile directly surfaces lowering errors early and exposes the
+// program for inspection.
+func (d *Director) Compile() (*GuardProgram, error) {
+	if d.comp != nil {
+		return d.comp, nil
+	}
+	d.ensurePrims()
+	g := &GuardProgram{dir: d, byState: make(map[*State]*compState)}
+	for _, m := range d.machines {
+		if m.Initial == nil {
+			return nil, fmt.Errorf("osm: compile: machine %s has no initial state", m.Name)
+		}
+		if err := g.addGraph(m.Initial); err != nil {
+			return nil, err
+		}
+	}
+	g.stats.States = len(g.states)
+	for _, cs := range g.states {
+		cs.s.comp = cs // fast state→program lookup for the executor
+	}
+	d.comp = g
+	return g, nil
+}
+
+// addGraph lowers the graph reachable from initial, skipping states
+// another machine's walk already covered.
+func (g *GuardProgram) addGraph(initial *State) error {
+	var walk func(s *State) error
+	walk = func(s *State) error {
+		if _, done := g.byState[s]; done {
+			return nil
+		}
+		cs := &compState{prog: g, s: s}
+		g.byState[s] = cs
+		g.states = append(g.states, cs)
+		for _, e := range s.Out {
+			ce, err := g.lowerEdge(s, e)
+			if err != nil {
+				return err
+			}
+			cs.edges = append(cs.edges, ce)
+			g.stats.Edges++
+		}
+		for _, e := range s.Out {
+			if err := walk(e.To); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(initial)
+}
+
+// lowerEdge translates an edge's primitive conjunction into a guard
+// instruction array, validating what the interpreter would only trip
+// over at runtime (invalid operations, transactions without a
+// manager), and classifies the edge for the check-then-commit fast
+// path.
+func (g *GuardProgram) lowerEdge(st *State, e *Edge) (compEdge, error) {
+	code := make([]guardInstr, 0, len(e.Prims))
+	for pi := range e.Prims {
+		p := &e.Prims[pi]
+		ins := guardInstr{
+			op:    p.Op,
+			dyn:   p.ID != nil,
+			slot:  p.slot,
+			fixed: p.FixedID,
+			prim:  p,
+			mgr:   p.Mgr,
+		}
+		switch p.Op {
+		case OpAllocate, OpInquire, OpRelease:
+			if p.Mgr == nil {
+				return compEdge{}, fmt.Errorf("osm: compile: state %s, edge %s: %s primitive has no manager",
+					st.Name, e.Name, p.Op)
+			}
+		case OpDiscard:
+			// A nil manager is legal here: with AllTokens it empties
+			// the whole buffer, otherwise it discards nothing.
+		default:
+			return compEdge{}, fmt.Errorf("osm: compile: state %s, edge %s: invalid primitive op %d",
+				st.Name, e.Name, int(p.Op))
+		}
+		// The type switch matches the dynamic type exactly: a model
+		// type embedding a built-in manager (overriding some methods)
+		// stays kindGeneric and keeps interface dispatch, which is
+		// required for correctness.
+		switch mm := p.Mgr.(type) {
+		case *UnitManager:
+			ins.kind, ins.unit = kindUnit, mm
+		case *QueueManager:
+			ins.kind, ins.queue = kindQueue, mm
+		case *PoolManager:
+			ins.kind, ins.pool = kindPool, mm
+		case *RegFileManager:
+			ins.kind, ins.rf = kindRegFile, mm
+		case *ResetManager:
+			ins.kind, ins.reset = kindReset, mm
+		case *BypassManager:
+			ins.kind, ins.byp = kindBypass, mm
+		default:
+			if c, ok := p.Mgr.(CheckableManager); ok && p.Op != OpDiscard {
+				ins.kind, ins.chk = kindChecked, c
+			} else {
+				ins.kind = kindGeneric
+			}
+		}
+		switch ins.kind {
+		case kindGeneric:
+			g.stats.Generic++
+		case kindChecked:
+			g.stats.Checked++
+		default:
+			g.stats.Devirtualized++
+		}
+		if ins.dyn {
+			g.stats.Dynamic++
+		}
+		g.stats.Instrs++
+		code = append(code, ins)
+	}
+	ce := compEdge{e: e, code: code}
+	ce.pure = pureEdge(code)
+	if ce.pure {
+		ce.scratch = make([]int32, len(code))
+		g.stats.Pure++
+	}
+	return ce, nil
+}
+
+// pureEdge decides whether an edge qualifies for the check-then-commit
+// fast path. The pure path evaluates every conjunct with a mutation-
+// free availability read before applying any transaction, whereas the
+// interpreter's tentative grants are visible to the later conjuncts of
+// the same edge. The two are equivalent exactly when:
+//
+//   - every Allocate and Release targets a manager whose request
+//     outcome the compile stage can predict without transacting: a
+//     built-in, or a custom manager implementing CheckableManager.
+//     Inquire needs no prediction — the interpreter itself issues it
+//     as a plain question with nothing to cancel, so any manager
+//     qualifies (managers must judge availability from their own and
+//     committed state; see CheckableManager);
+//   - no conjunct reads a manager that an earlier Allocate or Release
+//     of the same edge has tentatively mutated (an earlier Inquire is
+//     harmless — it mutates nothing in a built-in);
+//   - discards come last: a committed discard frees tokens, and under
+//     the interpreter no request observes that, so no pure check or
+//     applied transaction may run after one either.
+//
+// Model-installed gate closures are a runtime concern: the pure path
+// re-checks for them on every attempt and falls back to the
+// transactional path, so installing a gate after compilation stays
+// correct.
+func pureEdge(code []guardInstr) bool {
+	sawDiscard := false
+	for i := range code {
+		ins := &code[i]
+		if ins.op == OpDiscard {
+			sawDiscard = true
+			continue
+		}
+		if sawDiscard || (ins.kind == kindGeneric && ins.op != OpInquire) {
+			return false
+		}
+		for k := 0; k < i; k++ {
+			prev := &code[k]
+			if prev.op == OpDiscard || prev.mgr != ins.mgr {
+				continue
+			}
+			if prev.op == OpAllocate || prev.op == OpRelease {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stateOf returns the lowered form of s, or nil when s is not part of
+// the program (the graph was mutated after compilation; the caller
+// falls back to the interpreter).
+func (g *GuardProgram) stateOf(s *State) *compState {
+	if cs := s.comp; cs != nil && cs.prog == g {
+		return cs
+	}
+	if cs, ok := g.byState[s]; ok {
+		s.comp = cs // re-stamp after another program overwrote it
+		return cs
+	}
+	return nil
+}
+
+// Stats returns the program's lowering statistics.
+func (g *GuardProgram) Stats() CompileStats { return g.stats }
+
+// Disassemble renders the program as text, one instruction per line,
+// for debugging and tests.
+func (g *GuardProgram) Disassemble() string {
+	var b strings.Builder
+	for _, cs := range g.states {
+		fmt.Fprintf(&b, "state %s:\n", cs.s.Name)
+		for i := range cs.edges {
+			ce := &cs.edges[i]
+			mode := ""
+			if ce.pure {
+				mode = " (pure)"
+			}
+			fmt.Fprintf(&b, "  edge %s -> %s:%s\n", ce.e.Name, ce.e.To.Name, mode)
+			for j := range ce.code {
+				ins := &ce.code[j]
+				name := "<all>"
+				if ins.mgr != nil {
+					name = ins.mgr.Name()
+				}
+				id := fmt.Sprintf("%d", ins.fixed)
+				if ins.dyn {
+					id = fmt.Sprintf("dyn(slot %d)", ins.slot)
+				}
+				fmt.Fprintf(&b, "    %2d: %-8s %-10s id=%-12s %s\n",
+					j, ins.op, name, id, ins.kind)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Probe evaluates e's guard for m through the compiled program without
+// committing anything, mirroring Machine.ProbeEdge on the compiled
+// path. It errors when e is not part of the program.
+func (g *GuardProgram) Probe(m *Machine, e *Edge) (bool, error) {
+	cs := g.stateOf(e.From)
+	if cs == nil {
+		return false, fmt.Errorf("osm: compiled probe: state %s is not in the program", e.From.Name)
+	}
+	for i := range cs.edges {
+		if cs.edges[i].e == e {
+			return m.probeCompiled(&cs.edges[i]), nil
+		}
+	}
+	return false, fmt.Errorf("osm: compiled probe: edge %s is not in the program", e.Name)
+}
+
+// instrID resolves the identifier a lowered instruction presents for
+// m: the pre-resolved fixed identifier, or the memoized result of the
+// identifier function (same memo discipline as Machine.primID).
+func (m *Machine) instrID(ins *guardInstr) TokenID {
+	if !ins.dyn {
+		return ins.fixed
+	}
+	return m.instrDynID(ins)
+}
+
+// instrDynID is instrID's slow path: evaluate the identifier function
+// through the memo slot. Split out so instrID's fixed-identifier path
+// inlines into the executor loop.
+func (m *Machine) instrDynID(ins *guardInstr) TokenID {
+	s := int(ins.slot) - 1
+	if s >= 0 && s < len(m.dynID) {
+		if m.dynStamp[s] == m.dynEpoch {
+			return m.dynID[s]
+		}
+		id := ins.prim.ID(m)
+		m.dynID[s] = id
+		m.dynStamp[s] = m.dynEpoch
+		return id
+	}
+	return ins.prim.ID(m)
+}
+
+// allocate issues the instruction's Allocate through the statically
+// bound fast path when the manager is a built-in.
+func (ins *guardInstr) allocate(m *Machine, id TokenID) (Token, bool) {
+	switch ins.kind {
+	case kindUnit:
+		return ins.unit.Allocate(m, id)
+	case kindQueue:
+		return ins.queue.Allocate(m, id)
+	case kindPool:
+		return ins.pool.Allocate(m, id)
+	case kindRegFile:
+		return ins.rf.Allocate(m, id)
+	case kindReset:
+		return ins.reset.Allocate(m, id)
+	case kindBypass:
+		return ins.byp.Allocate(m, id)
+	}
+	return ins.mgr.Allocate(m, id)
+}
+
+// inquire issues the instruction's Inquire (see allocate).
+func (ins *guardInstr) inquire(m *Machine, id TokenID) bool {
+	switch ins.kind {
+	case kindUnit:
+		return ins.unit.Inquire(m, id)
+	case kindQueue:
+		return ins.queue.Inquire(m, id)
+	case kindPool:
+		return ins.pool.Inquire(m, id)
+	case kindRegFile:
+		return ins.rf.Inquire(m, id)
+	case kindReset:
+		return ins.reset.Inquire(m, id)
+	case kindBypass:
+		return ins.byp.Inquire(m, id)
+	}
+	return ins.mgr.Inquire(m, id)
+}
+
+// release issues the instruction's Release (see allocate).
+func (ins *guardInstr) release(m *Machine, tok Token) bool {
+	switch ins.kind {
+	case kindUnit:
+		return ins.unit.Release(m, tok)
+	case kindQueue:
+		return ins.queue.Release(m, tok)
+	case kindPool:
+		return ins.pool.Release(m, tok)
+	case kindRegFile:
+		return ins.rf.Release(m, tok)
+	case kindReset:
+		return ins.reset.Release(m, tok)
+	case kindBypass:
+		return ins.byp.Release(m, tok)
+	}
+	return ins.mgr.Release(m, tok)
+}
+
+// cancelAllocate reverses a tentative grant. Built-in cancel methods
+// are statically bound; the ones a built-in inherits unchanged from
+// BaseManager inline to nothing.
+func (ins *guardInstr) cancelAllocate(m *Machine, tok Token) {
+	switch ins.kind {
+	case kindUnit:
+		ins.unit.CancelAllocate(m, tok)
+	case kindQueue:
+		ins.queue.CancelAllocate(m, tok)
+	case kindPool:
+		ins.pool.CancelAllocate(m, tok)
+	case kindRegFile:
+		ins.rf.CancelAllocate(m, tok)
+	case kindReset, kindBypass:
+		// Allocate never succeeds for these, so there is nothing to
+		// cancel; both inherit BaseManager's no-op anyway.
+	default:
+		ins.mgr.CancelAllocate(m, tok)
+	}
+}
+
+// cancelRelease reverses a tentative release (see cancelAllocate).
+func (ins *guardInstr) cancelRelease(m *Machine, tok Token) {
+	switch ins.kind {
+	case kindUnit:
+		ins.unit.CancelRelease(m, tok)
+	case kindQueue:
+		ins.queue.CancelRelease(m, tok)
+	case kindPool:
+		ins.pool.CancelRelease(m, tok)
+	case kindRegFile, kindReset, kindBypass:
+		// BaseManager no-ops.
+	default:
+		ins.mgr.CancelRelease(m, tok)
+	}
+}
+
+// commitAllocate finalizes a grant. No built-in manager overrides
+// CommitAllocate, so the fast paths vanish entirely.
+func (ins *guardInstr) commitAllocate(m *Machine, tok Token) {
+	switch ins.kind {
+	case kindUnit, kindQueue, kindPool, kindRegFile, kindReset, kindBypass:
+		// BaseManager no-ops.
+	default:
+		ins.mgr.CommitAllocate(m, tok)
+	}
+}
+
+// commitRelease finalizes a release. Among the built-ins only the
+// register file acts on commit (retiring the update and writing the
+// token's Data payload).
+func (ins *guardInstr) commitRelease(m *Machine, tok Token) {
+	switch ins.kind {
+	case kindRegFile:
+		ins.rf.CommitRelease(m, tok)
+	case kindUnit, kindQueue, kindPool, kindReset, kindBypass:
+		// BaseManager no-ops.
+	default:
+		ins.mgr.CommitRelease(m, tok)
+	}
+}
+
+// cancelCompiled reverses the tentative transactions in pend, whose
+// entries correspond index-for-index to the instruction prefix that
+// issued them, and resets the machine's scratch space.
+func (m *Machine) cancelCompiled(code []guardInstr, pend []pendingTxn) {
+	for i := len(pend) - 1; i >= 0; i-- {
+		ins := &code[i]
+		switch ins.op {
+		case OpAllocate:
+			ins.cancelAllocate(m, pend[i].tok)
+		case OpRelease:
+			ins.cancelRelease(m, pend[i].tok)
+		}
+	}
+	m.pend = pend[:0]
+}
+
+// tryEdgeCompiled is the compiled counterpart of Machine.tryEdge. The
+// observable semantics — transaction order, failure attribution, error
+// cases, resulting manager state — are identical to the interpreter's;
+// the differential suites hold the two to trace-checksum identity.
+func (m *Machine) tryEdgeCompiled(ce *compEdge) (bool, error) {
+	if ce.pure {
+		return m.tryEdgePure(ce)
+	}
+	return m.tryEdgeTxn(ce)
+}
+
+// unitCanAllocate mirrors UnitManager.pick for a gate-free manager
+// without mutating anything.
+func unitCanAllocate(u *UnitManager, id TokenID) bool {
+	if id == AnyUnit {
+		for _, o := range u.owner {
+			if o == nil {
+				return true
+			}
+		}
+		return false
+	}
+	return id >= 0 && int(id) < len(u.owner) && u.owner[id] == nil
+}
+
+// rfCanAllocate mirrors RegFileManager.Allocate's admission test
+// without taking the rename slot.
+func rfCanAllocate(r *RegFileManager, id TokenID) bool {
+	reg, update, ok := r.split(id)
+	return ok && update && r.pending[reg] < r.depth()
+}
+
+// tryEdgePure runs a pure-classified edge check-then-commit: a first
+// pass decides every conjunct with mutation-free availability reads,
+// and only when the whole conjunction holds does a second pass apply
+// the transactions — which at that point cannot fail. Failures cost a
+// few loads and one blocked-list append; successes skip the
+// pending-transaction bookkeeping entirely. This is where compilation
+// actually beats interpretation: the interpreter cannot know a
+// manager's semantics, so it must transact tentatively and cancel,
+// while the compile stage proved (pureEdge) that checking first is
+// equivalent. Gate closures make a manager's availability opaque
+// again, so their presence routes the attempt to the transactional
+// path.
+func (m *Machine) tryEdgePure(ce *compEdge) (bool, error) {
+	e := ce.e
+	if e.When != nil && !e.When(m) {
+		return false, nil
+	}
+	code := ce.code
+	for i := range code {
+		ins := &code[i]
+		id := ins.fixed
+		if ins.dyn {
+			id = m.instrDynID(ins)
+		}
+		ok := false
+		switch ins.op {
+		case OpAllocate:
+			switch ins.kind {
+			case kindUnit:
+				u := ins.unit
+				if u.AllocGate != nil {
+					return m.tryEdgeTxn(ce)
+				}
+				ok = unitCanAllocate(u, id)
+			case kindQueue:
+				q := ins.queue
+				ok = q.n < q.capacity
+			case kindPool:
+				p := ins.pool
+				if p.AllocGate != nil {
+					return m.tryEdgeTxn(ce)
+				}
+				ok = p.free > 0
+			case kindRegFile:
+				ok = rfCanAllocate(ins.rf, id)
+			case kindChecked:
+				ok = ins.chk.CanAllocate(m, id)
+			}
+			// Reset and bypass managers never grant; ok stays false.
+		case OpInquire:
+			switch ins.kind {
+			case kindUnit:
+				ok = ins.unit.Inquire(m, id)
+			case kindQueue:
+				ok = ins.queue.Inquire(m, id)
+			case kindPool:
+				ok = ins.pool.free > 0
+			case kindRegFile:
+				ok = ins.rf.Inquire(m, id)
+			case kindReset:
+				ok = ins.reset.Inquire(m, id)
+			case kindBypass:
+				ok = ins.byp.Inquire(m, id)
+			default:
+				// Checked and generic managers answer through the
+				// interface, exactly as the interpreter asks them.
+				ok = ins.mgr.Inquire(m, id)
+			}
+		case OpRelease:
+			idx := m.findToken(ins.mgr, id)
+			if idx < 0 {
+				return false, fmt.Errorf("osm: machine %s: edge %s releases token %s:%d it does not hold",
+					m.Name, e.Name, ins.mgr.Name(), id)
+			}
+			ce.scratch[i] = int32(idx)
+			tok := m.tokens[idx]
+			switch ins.kind {
+			case kindUnit:
+				u := ins.unit
+				if u.ReleaseGate != nil {
+					return m.tryEdgeTxn(ce)
+				}
+				ok = u.busyUntil[tok.ID] <= u.step
+			case kindQueue:
+				q := ins.queue
+				if q.ReleaseGate != nil {
+					return m.tryEdgeTxn(ce)
+				}
+				ok = q.n > 0 && q.ring[q.head].id == tok.ID
+			case kindPool, kindRegFile:
+				ok = true
+			case kindChecked:
+				ok = ins.chk.CanRelease(m, tok)
+			}
+			// Reset and bypass never grant, so a held token cannot
+			// name them; ok stays false.
+		case OpDiscard:
+			// Always succeeds; applied in the commit pass.
+			ok = true
+		}
+		if !ok {
+			m.blocked = append(m.blocked, ins.prim)
+			return false, nil
+		}
+	}
+	// Every conjunct holds: apply the transactions in instruction
+	// order, exactly the states the interpreter's commit would leave.
+	// Releases reuse the token-buffer positions the check pass found
+	// (commit-pass appends only grow the buffer, and the same-manager
+	// rule keeps the positions valid; earlier removals are compensated
+	// below), so the interpreter's second token scan disappears.
+	for i := range code {
+		ins := &code[i]
+		switch ins.op {
+		case OpAllocate:
+			id := ins.fixed
+			if ins.dyn {
+				id = m.instrDynID(ins)
+			}
+			var tok Token
+			switch ins.kind {
+			case kindUnit:
+				tok, _ = ins.unit.Allocate(m, id)
+			case kindQueue:
+				tok, _ = ins.queue.Allocate(m, id)
+			case kindPool:
+				tok, _ = ins.pool.Allocate(m, id)
+			case kindRegFile:
+				tok, _ = ins.rf.Allocate(m, id)
+			case kindChecked:
+				var ok bool
+				if tok, ok = ins.chk.Allocate(m, id); !ok {
+					return false, fmt.Errorf("osm: machine %s: edge %s: manager %s granted CanAllocate(%d) but refused Allocate (CheckableManager contract violation)",
+						m.Name, e.Name, ins.mgr.Name(), id)
+				}
+			}
+			m.addToken(tok)
+			if ins.kind == kindChecked {
+				ins.chk.CommitAllocate(m, tok)
+			}
+			// CommitAllocate is a no-op for every built-in manager.
+		case OpRelease:
+			idx := int(ce.scratch[i])
+			tok := m.tokens[idx]
+			m.tokens = append(m.tokens[:idx], m.tokens[idx+1:]...)
+			for j := i + 1; j < len(code); j++ {
+				if code[j].op == OpRelease && ce.scratch[j] > int32(idx) {
+					ce.scratch[j]--
+				}
+			}
+			switch ins.kind {
+			case kindUnit:
+				ins.unit.Release(m, tok)
+			case kindQueue:
+				ins.queue.Release(m, tok)
+			case kindPool:
+				ins.pool.Release(m, tok)
+			case kindRegFile:
+				// Release always accepts; the register write happens
+				// at commit, with the token's final Data payload.
+				ins.rf.CommitRelease(m, tok)
+			case kindChecked:
+				if !ins.chk.Release(m, tok) {
+					return false, fmt.Errorf("osm: machine %s: edge %s: manager %s granted CanRelease but refused Release (CheckableManager contract violation)",
+						m.Name, e.Name, ins.mgr.Name())
+				}
+				ins.chk.CommitRelease(m, tok)
+			}
+		case OpDiscard:
+			m.commitDiscard(ins.prim)
+		}
+	}
+	m.dynEpoch++ // next state is a fresh identifier-resolution epoch
+	if e.Action != nil {
+		e.Action(m)
+	}
+	m.cur = e.To
+	m.moves++
+	if m.cur == m.Initial && len(m.tokens) > 0 {
+		return true, fmt.Errorf("osm: machine %s returned to initial state %s holding %d token(s); first: %s",
+			m.Name, m.Initial.Name, len(m.tokens), m.tokens[0])
+	}
+	return true, nil
+}
+
+// tryEdgeTxn is the transactional compiled path, used for edges the
+// compile stage could not prove pure (custom managers, conjunctions
+// whose tentative effects are visible to later conjuncts) and as the
+// runtime fallback when a gate closure is installed. It mirrors
+// Machine.tryEdge operation for operation.
+func (m *Machine) tryEdgeTxn(ce *compEdge) (bool, error) {
+	e := ce.e
+	if e.When != nil && !e.When(m) {
+		return false, nil
+	}
+	code := ce.code
+	pend := m.pend[:0]
+	for i := range code {
+		ins := &code[i]
+		// Identifier resolution and manager dispatch are inlined here
+		// rather than routed through the guardInstr helper methods: on
+		// the request loop — the hottest code in a compiled run — even
+		// one statically bound call per conjunct is measurable, and
+		// inlining lets fixed identifiers and built-in managers run
+		// with no calls beyond the manager method itself.
+		id := ins.fixed
+		if ins.dyn {
+			id = m.instrDynID(ins)
+		}
+		switch ins.op {
+		case OpAllocate:
+			var tok Token
+			var ok bool
+			switch ins.kind {
+			case kindUnit:
+				tok, ok = ins.unit.Allocate(m, id)
+			case kindQueue:
+				tok, ok = ins.queue.Allocate(m, id)
+			case kindPool:
+				tok, ok = ins.pool.Allocate(m, id)
+			case kindRegFile:
+				tok, ok = ins.rf.Allocate(m, id)
+			case kindGeneric:
+				tok, ok = ins.mgr.Allocate(m, id)
+			default:
+				tok, ok = ins.allocate(m, id) // reset, bypass
+			}
+			if !ok {
+				m.cancelCompiled(code, pend)
+				m.blocked = append(m.blocked, ins.prim)
+				return false, nil
+			}
+			pend = append(pend, pendingTxn{prim: ins.prim, tok: tok})
+		case OpInquire:
+			var ok bool
+			switch ins.kind {
+			case kindUnit:
+				ok = ins.unit.Inquire(m, id)
+			case kindQueue:
+				ok = ins.queue.Inquire(m, id)
+			case kindPool:
+				ok = ins.pool.Inquire(m, id)
+			case kindRegFile:
+				ok = ins.rf.Inquire(m, id)
+			case kindGeneric:
+				ok = ins.mgr.Inquire(m, id)
+			default:
+				ok = ins.inquire(m, id) // reset, bypass
+			}
+			if !ok {
+				m.cancelCompiled(code, pend)
+				m.blocked = append(m.blocked, ins.prim)
+				return false, nil
+			}
+			pend = append(pend, pendingTxn{prim: ins.prim})
+		case OpRelease:
+			tok, held := m.HeldToken(ins.mgr, id)
+			if !held {
+				m.cancelCompiled(code, pend)
+				return false, fmt.Errorf("osm: machine %s: edge %s releases token %s:%d it does not hold",
+					m.Name, e.Name, ins.mgr.Name(), id)
+			}
+			var ok bool
+			switch ins.kind {
+			case kindUnit:
+				ok = ins.unit.Release(m, tok)
+			case kindQueue:
+				ok = ins.queue.Release(m, tok)
+			case kindPool:
+				ok = ins.pool.Release(m, tok)
+			case kindRegFile:
+				ok = ins.rf.Release(m, tok)
+			case kindGeneric:
+				ok = ins.mgr.Release(m, tok)
+			default:
+				ok = ins.release(m, tok) // reset, bypass
+			}
+			if !ok {
+				m.cancelCompiled(code, pend)
+				m.blocked = append(m.blocked, ins.prim)
+				return false, nil
+			}
+			pend = append(pend, pendingTxn{prim: ins.prim, tok: tok})
+		case OpDiscard:
+			// Discard always succeeds; it takes effect at commit.
+			pend = append(pend, pendingTxn{prim: ins.prim})
+		}
+	}
+	// All conjuncts succeeded: commit simultaneously, in instruction
+	// order like the interpreter.
+	for i := range code {
+		ins := &code[i]
+		switch ins.op {
+		case OpAllocate:
+			m.addToken(pend[i].tok)
+			ins.commitAllocate(m, pend[i].tok)
+		case OpRelease:
+			// Re-read the buffered token: the operation may have
+			// attached a payload after the tentative grant.
+			tok, _ := m.removeToken(ins.mgr, pend[i].tok.ID)
+			ins.commitRelease(m, tok)
+		case OpDiscard:
+			m.commitDiscard(ins.prim)
+		}
+	}
+	m.pend = pend[:0]
+	m.dynEpoch++ // next state is a fresh identifier-resolution epoch
+	if e.Action != nil {
+		e.Action(m)
+	}
+	m.cur = e.To
+	m.moves++
+	if m.cur == m.Initial && len(m.tokens) > 0 {
+		return true, fmt.Errorf("osm: machine %s returned to initial state %s holding %d token(s); first: %s",
+			m.Name, m.Initial.Name, len(m.tokens), m.tokens[0])
+	}
+	return true, nil
+}
+
+// probeCompiled is the compiled counterpart of Machine.ProbeEdge:
+// every primitive is issued tentatively and then cancelled, so the
+// machine and managers are left exactly as found. Releasing a token
+// the machine does not hold probes false rather than erroring.
+func (m *Machine) probeCompiled(ce *compEdge) bool {
+	e := ce.e
+	if e.When != nil && !e.When(m) {
+		return false
+	}
+	code := ce.code
+	pend := m.pend[:0]
+	for i := range code {
+		ins := &code[i]
+		switch ins.op {
+		case OpAllocate:
+			tok, ok := ins.allocate(m, m.instrID(ins))
+			if !ok {
+				m.cancelCompiled(code, pend)
+				return false
+			}
+			pend = append(pend, pendingTxn{prim: ins.prim, tok: tok})
+		case OpInquire:
+			if !ins.inquire(m, m.instrID(ins)) {
+				m.cancelCompiled(code, pend)
+				return false
+			}
+			pend = append(pend, pendingTxn{prim: ins.prim})
+		case OpRelease:
+			tok, held := m.HeldToken(ins.mgr, m.instrID(ins))
+			if !held || !ins.release(m, tok) {
+				m.cancelCompiled(code, pend)
+				return false
+			}
+			pend = append(pend, pendingTxn{prim: ins.prim, tok: tok})
+		case OpDiscard:
+			// Nothing to request.
+			pend = append(pend, pendingTxn{prim: ins.prim})
+		}
+	}
+	m.cancelCompiled(code, pend)
+	return true
+}
+
+// serveCompiled is serveMachine's compiled fast path: it evaluates the
+// machine's lowered outgoing edges in priority order and commits the
+// first satisfied one, maintaining ages and the tracer exactly like
+// the interpreted path.
+func (d *Director) serveCompiled(m *Machine, cs *compState, wasInitial bool) (bool, *Edge, error) {
+	for i := range cs.edges {
+		ce := &cs.edges[i]
+		before := len(m.blocked)
+		ok, err := m.tryEdgeCompiled(ce)
+		if err != nil {
+			return false, nil, fmt.Errorf("osm: step %d: %w", d.step, err)
+		}
+		if !ok {
+			if len(m.blocked) == before {
+				m.sched.untracked = true
+			}
+			continue
+		}
+		if wasInitial && !m.InInitial() {
+			d.nextAge++
+			m.Age = d.nextAge
+		}
+		if d.Tracer != nil {
+			d.Tracer.Transition(d.step, m, ce.e)
+		}
+		return true, ce.e, nil
+	}
+	return false, nil, nil
+}

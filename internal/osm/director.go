@@ -88,7 +88,17 @@ type Director struct {
 	// event-driven scheduler requires the default age-based ranking;
 	// installing a custom Rank falls back to the scan scheduler
 	// automatically. Choose the scheduler before the first Step.
+	//
+	// Scan is the legacy form of Engine = EngineScan and takes
+	// precedence over the Engine field when set.
 	Scan bool
+	// Engine selects the execution engine (see the Engine type):
+	// event-driven (default), reference scan, or compiled guard
+	// programs. EngineCompiled compiles the model lazily on the first
+	// step; a compile error aborts that Step. The Scan field and a
+	// custom Rank both force EngineScan. Choose the engine before the
+	// first Step.
+	Engine Engine
 	// Check, if non-nil, runs at the end of every control step,
 	// before the step counter advances — the hook the invariant
 	// checker (internal/osm/invariant) installs. A non-nil error
@@ -104,6 +114,17 @@ type Director struct {
 	list []*Machine
 	// ev is the event-driven scheduler's state (director_event.go).
 	ev eventSched
+	// primInit records that identifier slots were assigned and the
+	// machines' memo tables sized; reset by AddMachine.
+	primInit bool
+	// comp is the compiled guard program (compiled.go), built lazily
+	// when Engine is EngineCompiled; invalidated by AddMachine and
+	// AddManager. Compiled state is derived from the model and is
+	// never serialized: Snapshot ignores it and Restore keeps it.
+	comp *GuardProgram
+	// useComp is true while the current step serves machines through
+	// their compiled programs.
+	useComp bool
 }
 
 // NewDirector returns an empty director with default (age-based)
@@ -115,6 +136,8 @@ func NewDirector() *Director { return &Director{} }
 func (d *Director) AddMachine(ms ...*Machine) {
 	d.machines = append(d.machines, ms...)
 	d.ev.init = false
+	d.primInit = false
+	d.comp = nil
 }
 
 // AddManager registers a token manager. Managers implementing Stepper
@@ -128,6 +151,7 @@ func (d *Director) AddManager(ms ...TokenManager) {
 		}
 	}
 	d.ev.init = false
+	d.comp = nil
 }
 
 // Machines returns the registered machines in registration order.
@@ -150,10 +174,78 @@ func (d *Director) StepCount() uint64 { return d.step }
 // which skips machines whose blocking resources did not change. See
 // the Scan field.
 func (d *Director) Step() error {
-	if d.Scan || d.Rank != nil {
+	if d.engine() == EngineScan {
 		return d.stepScan()
 	}
 	return d.stepEvent()
+}
+
+// ensurePrims assigns identifier slots to every dynamic primitive
+// reachable from a machine's initial state and sizes the machines'
+// memo tables, once per model build. Machines of one model share a
+// state graph, so the walk is deduplicated by initial state. Restored
+// machines always rest in states reachable from their initial state
+// (Restore resolves states by name from the initial graph), so the
+// initial walk covers every primitive any engine can evaluate.
+func (d *Director) ensurePrims() {
+	if d.primInit {
+		return
+	}
+	sizes := make(map[*State]int, 1)
+	for _, m := range d.machines {
+		n, ok := sizes[m.Initial]
+		if !ok {
+			n = assignPrimSlots(m.Initial)
+			sizes[m.Initial] = n
+		}
+		m.sizeDynMemo(n)
+	}
+	d.primInit = true
+}
+
+// assignPrimSlots walks the state graph from initial and gives every
+// dynamic primitive (ID != nil) without a slot the next free slot
+// number in this graph. It returns the highest slot in use, i.e. the
+// memo table size machines of this graph need. Assignment is
+// idempotent: primitives keep their slot across walks, so machines
+// sharing a graph agree on the numbering.
+func assignPrimSlots(initial *State) int {
+	var states []*State
+	seen := make(map[*State]bool)
+	var walk func(s *State)
+	walk = func(s *State) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		states = append(states, s)
+		for _, e := range s.Out {
+			walk(e.To)
+		}
+	}
+	walk(initial)
+	next := int32(0)
+	for _, s := range states {
+		for _, e := range s.Out {
+			for pi := range e.Prims {
+				if e.Prims[pi].slot > next {
+					next = e.Prims[pi].slot
+				}
+			}
+		}
+	}
+	for _, s := range states {
+		for _, e := range s.Out {
+			for pi := range e.Prims {
+				p := &e.Prims[pi]
+				if p.ID != nil && p.slot == 0 {
+					next++
+					p.slot = next
+				}
+			}
+		}
+	}
+	return int(next)
 }
 
 // serveMachine evaluates m's outgoing edges in priority order and
@@ -166,6 +258,13 @@ func (d *Director) serveMachine(m *Machine) (bool, *Edge, error) {
 	wasInitial := m.InInitial()
 	m.blocked = m.blocked[:0] // keep only this pass's failures
 	m.sched.untracked = false
+	if d.useComp {
+		if cs := d.comp.stateOf(m.cur); cs != nil {
+			return d.serveCompiled(m, cs, wasInitial)
+		}
+		// A state unknown to the program (the graph was mutated after
+		// compilation) falls back to the interpreted path.
+	}
 	for _, e := range m.cur.Out {
 		before := len(m.blocked)
 		ok, err := m.tryEdge(e)
@@ -193,6 +292,8 @@ func (d *Director) serveMachine(m *Machine) (bool, *Edge, error) {
 // stepScan is the reference scheduler: the paper's Figure 3, executed
 // over the full machine population every control step.
 func (d *Director) stepScan() error {
+	d.useComp = false
+	d.ensurePrims()
 	for _, s := range d.steppers {
 		s.BeginStep(d.step)
 	}
@@ -259,9 +360,10 @@ func (d *Director) stepScan() error {
 	return nil
 }
 
-// EventDriven reports whether the event-driven scheduler serves the
-// director's steps (see Scan; a custom Rank forces the scan).
-func (d *Director) EventDriven() bool { return !d.Scan && d.Rank == nil }
+// EventDriven reports whether an event-driven scheduler serves the
+// director's steps — the default engine and the compiled engine both
+// do (see Scan and Engine; a custom Rank forces the scan).
+func (d *Director) EventDriven() bool { return d.engine() != EngineScan }
 
 // WillEvaluate reports whether machine m is queued for evaluation at
 // the next control step. Under the scan scheduler every machine is

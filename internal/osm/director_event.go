@@ -112,6 +112,7 @@ func keyOf(m *Machine) uint64 {
 // or Reset, so resuming in either scheduler at a step boundary is
 // always sound.
 func (d *Director) initEvent() {
+	d.ensurePrims()
 	ev := &d.ev
 	ev.epoch++
 	ev.mgrOf = make(map[TokenManager]int, len(d.managers))
@@ -131,7 +132,7 @@ func (d *Director) initEvent() {
 	ev.ready = ev.ready[:0]
 	for i, m := range d.machines {
 		m.sched = machineSched{idx: i, inReady: true}
-		m.idMemo = m.idMemo[:0]
+		m.dynEpoch++ // guard against mutation while unscheduled
 		ev.ready = append(ev.ready, m)
 	}
 	ev.pend = ev.pend[:0]
@@ -142,7 +143,19 @@ func (d *Director) initEvent() {
 }
 
 // stepEvent runs one control step under the event-driven scheduler.
+// It serves both the interpreted event engine and the compiled engine,
+// which differ only in how serveMachine evaluates guards.
 func (d *Director) stepEvent() error {
+	if d.Engine == EngineCompiled {
+		if d.comp == nil {
+			if _, err := d.Compile(); err != nil {
+				return err
+			}
+		}
+		d.useComp = true
+	} else {
+		d.useComp = false
+	}
 	ev := &d.ev
 	if !ev.init {
 		d.initEvent()

@@ -63,13 +63,13 @@ func buildDiffModel(machines, total int) *diffModel {
 	return md
 }
 
-// runDiffModel drives the model for steps control steps, squashing
-// the youngest active machine at a fixed cadence, and returns the
-// transition trace.
-func runDiffModel(t *testing.T, scan, noRestart bool, policy bool, steps int) []Event {
+// runDiffModel drives the model for steps control steps under the
+// given engine, squashing the youngest active machine at a fixed
+// cadence, and returns the transition trace.
+func runDiffModel(t *testing.T, eng Engine, noRestart bool, policy bool, steps int) []Event {
 	t.Helper()
 	md := buildDiffModel(6, 1<<30)
-	md.d.Scan = scan
+	md.d.Engine = eng
 	md.d.NoRestart = noRestart
 	if policy {
 		md.d.RestartPolicy = func(m *Machine, e *Edge) bool { return e.Name == "done" }
@@ -89,15 +89,16 @@ func runDiffModel(t *testing.T, scan, noRestart bool, policy bool, steps int) []
 			}
 		}
 		if err := md.d.Step(); err != nil {
-			t.Fatalf("step %d (scan=%v noRestart=%v policy=%v): %v", i, scan, noRestart, policy, err)
+			t.Fatalf("step %d (engine=%v noRestart=%v policy=%v): %v", i, eng, noRestart, policy, err)
 		}
 	}
 	return rec.Events()
 }
 
-// TestEventSchedulerMatchesScan locks the event-driven scheduler to
-// the reference scan over a model exercising untracked failures,
-// busy-window wakes, restarts, restart policies and squashes.
+// TestEventSchedulerMatchesScan locks the event-driven and compiled
+// engines to the reference scan over a model exercising untracked
+// failures, busy-window wakes, restarts, restart policies and
+// squashes.
 func TestEventSchedulerMatchesScan(t *testing.T) {
 	for _, tc := range []struct {
 		name      string
@@ -109,12 +110,14 @@ func TestEventSchedulerMatchesScan(t *testing.T) {
 		{"policy", false, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			want := runDiffModel(t, true, tc.noRestart, tc.policy, 400)
-			got := runDiffModel(t, false, tc.noRestart, tc.policy, 400)
+			want := runDiffModel(t, EngineScan, tc.noRestart, tc.policy, 400)
 			if len(want) == 0 {
 				t.Fatal("reference run produced no transitions")
 			}
-			compareTraces(t, want, got)
+			for _, eng := range []Engine{EngineEvent, EngineCompiled} {
+				got := runDiffModel(t, eng, tc.noRestart, tc.policy, 400)
+				compareTraces(t, want, got)
+			}
 		})
 	}
 }

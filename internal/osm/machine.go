@@ -12,6 +12,11 @@ type State struct {
 	Name string
 	// Out lists the outgoing edges in decreasing static priority.
 	Out []*Edge
+
+	// comp caches the state's lowered form in the most recently
+	// installed guard program (compiled.go); stateOf validates the
+	// owning program before trusting it.
+	comp *compState
 }
 
 // NewState returns a named state with no outgoing edges.
@@ -96,16 +101,14 @@ type Machine struct {
 	// sched is scheduling state owned by the event-driven director
 	// (director_event.go). A machine is scheduled by one director.
 	sched machineSched
-	// idMemo caches identifier-function results for the current
-	// operation binding; it is cleared on every transition.
-	idMemo []primMemo
-}
-
-// primMemo is one memoized identifier resolution. Primitives are
-// interned per edge, so the pointer identifies the call site.
-type primMemo struct {
-	p  *Primitive
-	id TokenID
+	// dynID/dynStamp memoize identifier-function results for the
+	// current operation binding, indexed by the primitive's slot
+	// (assignPrimSlots). A stamp equal to dynEpoch marks a live entry;
+	// bumping dynEpoch on every transition invalidates the whole memo
+	// in O(1) instead of clearing it.
+	dynID    []TokenID
+	dynStamp []uint64
+	dynEpoch uint64
 }
 
 // primID resolves the identifier a primitive presents for m. Results
@@ -114,18 +117,41 @@ type primMemo struct {
 // when an operation binds to the machine (the paper's decode-time
 // identifier assignment), so they may depend on the operation context
 // but not on state that changes while the machine is blocked.
+//
+// The memo is a dense array indexed by the primitive's slot, assigned
+// once per state graph by the director. A machine whose memo tables
+// were never sized (it is driven without a director, as in unit
+// tests) resolves the identifier function directly, which is
+// semantically identical.
 func (m *Machine) primID(p *Primitive) TokenID {
 	if p.ID == nil {
 		return p.FixedID
 	}
-	for i := range m.idMemo {
-		if m.idMemo[i].p == p {
-			return m.idMemo[i].id
-		}
+	s := int(p.slot) - 1
+	if s < 0 || s >= len(m.dynID) {
+		return p.ID(m)
+	}
+	if m.dynStamp[s] == m.dynEpoch {
+		return m.dynID[s]
 	}
 	id := p.ID(m)
-	m.idMemo = append(m.idMemo, primMemo{p: p, id: id})
+	m.dynID[s] = id
+	m.dynStamp[s] = m.dynEpoch
 	return id
+}
+
+// sizeDynMemo (re)sizes the identifier memo to cover slots [1, n] and
+// invalidates any previous entries. The director calls it whenever
+// slots may have been (re)assigned.
+func (m *Machine) sizeDynMemo(n int) {
+	if len(m.dynID) < n {
+		m.dynID = make([]TokenID, n)
+		m.dynStamp = make([]uint64, n)
+	}
+	if m.dynEpoch == 0 {
+		m.dynEpoch = 1
+	}
+	m.dynEpoch++
 }
 
 // NewMachine returns a machine resting in the given initial state.
@@ -278,7 +304,7 @@ func (m *Machine) tryEdge(e *Edge) (bool, error) {
 		}
 	}
 	m.pend = pend[:0]
-	m.idMemo = m.idMemo[:0] // next state is a fresh resolution epoch
+	m.dynEpoch++ // next state is a fresh identifier-resolution epoch
 	if e.Action != nil {
 		e.Action(m)
 	}
@@ -331,7 +357,7 @@ func (m *Machine) Reset() {
 	m.Age = 0
 	m.moves = 0
 	m.blocked = nil
-	m.idMemo = nil
+	m.dynEpoch++
 }
 
 // Transitions returns the number of edges the machine has committed

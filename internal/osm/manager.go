@@ -119,6 +119,41 @@ type GrantAuditor interface {
 	OutstandingGrants(yield func(Grant))
 }
 
+// CheckableManager is an optional TokenManager extension for managers
+// whose request-phase outcome can be predicted without transacting.
+// The compile stage (Director.Compile) uses it to admit guards over
+// custom managers to the check-then-commit fast path, which decides
+// the whole conjunction with side-effect-free checks and applies the
+// transactions only once success is certain — skipping the tentative
+// grant/cancel machinery entirely.
+//
+// Implementations must satisfy the prediction contract:
+//
+//   - CanAllocate(m, id) reports exactly what Allocate(m, id) would
+//     return, and CanRelease(m, t) exactly what Release(m, t) would,
+//     given unchanged state; neither mutates anything.
+//   - The prediction, and the transaction itself, must depend only on
+//     the manager's own state and on committed machine state — never
+//     on another manager's tentative (uncommitted) transactions.
+//   - A cancelled tentative grant must leave the manager bit-identical
+//     to before the grant — sequence counters and other bookkeeping
+//     included. (The built-in managers all satisfy this: pool and
+//     queue CancelAllocate rewind their token sequence exactly.)
+//
+// Managers that cannot promise this simply do not implement the
+// interface and keep the transactional path; the result is identical
+// either way, only slower. The cross-engine differential suites
+// exercise both paths against the interpreter.
+type CheckableManager interface {
+	TokenManager
+	// CanAllocate reports whether Allocate(m, id) would succeed,
+	// without mutating state.
+	CanAllocate(m *Machine, id TokenID) bool
+	// CanRelease reports whether Release(m, t) would succeed, without
+	// mutating state.
+	CanRelease(m *Machine, t Token) bool
+}
+
 // HolderReporter is implemented by managers that can report which
 // machine currently owns a unit. The deadlock detector uses it to
 // build the wait-for graph of the paper's Section 3.4.

@@ -46,8 +46,11 @@ func (p *PoolManager) Allocate(m *Machine, id TokenID) (Token, bool) {
 	return Token{Mgr: p, ID: p.seq}, true
 }
 
-// CancelAllocate returns the tentatively granted token to the pool.
-func (p *PoolManager) CancelAllocate(m *Machine, t Token) { p.free++ }
+// CancelAllocate reverses a tentative grant exactly, sequence counter
+// included, leaving the pool bit-identical to before the grant. The
+// compiled engine's check-then-commit path relies on tentative grants
+// having no residue (see CheckableManager).
+func (p *PoolManager) CancelAllocate(m *Machine, t Token) { p.free++; p.seq-- }
 
 // Inquire reports whether at least one token is available.
 func (p *PoolManager) Inquire(m *Machine, id TokenID) bool { return p.free > 0 }

@@ -75,9 +75,13 @@ func (q *QueueManager) Allocate(m *Machine, id TokenID) (Token, bool) {
 	return Token{Mgr: q, ID: q.seq}, true
 }
 
-// CancelAllocate removes the tentatively appended entry.
+// CancelAllocate removes the tentatively appended entry and rewinds
+// the sequence counter, leaving the queue bit-identical to before the
+// grant. The compiled engine's check-then-commit path relies on
+// tentative grants having no residue (see CheckableManager).
 func (q *QueueManager) CancelAllocate(m *Machine, t Token) {
 	q.n--
+	q.seq--
 }
 
 // Inquire reports, for AnyUnit, whether the queue has a free entry;

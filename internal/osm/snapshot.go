@@ -296,7 +296,7 @@ func (m *Machine) restore(c *SnapCtx, r *snap.Reader) error {
 	m.tokens = toks
 	m.blocked = m.blocked[:0]
 	m.pend = m.pend[:0]
-	m.idMemo = m.idMemo[:0]
+	m.dynEpoch++ // the restored binding is a fresh resolution epoch
 	m.sched = machineSched{}
 	return nil
 }

@@ -95,6 +95,13 @@ type Primitive struct {
 	schedDir   *Director
 	schedEpoch uint64
 	schedIdx   int
+
+	// slot is the primitive's memo index within its state graph, plus
+	// one (0 = unassigned). It indexes the per-machine identifier memo
+	// (Machine.dynID); see assignPrimSlots. Slots only need to be
+	// unique within one machine's reachable edge set, so numbering is
+	// per connected state graph, not global.
+	slot int32
 }
 
 func (p Primitive) String() string {

@@ -56,8 +56,13 @@ type Spec struct {
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
 	// Perfect disables caches and TLBs.
 	Perfect bool `json:"perfect,omitempty"`
-	// Scan selects the reference scan scheduler on OSM targets.
+	// Scan selects the reference scan scheduler on OSM targets. It is
+	// the legacy form of Engine = "scan" and takes precedence.
 	Scan bool `json:"scan,omitempty"`
+	// Engine selects the execution engine on OSM targets: "event"
+	// (default), "scan" or "compiled" (guard programs compiled by
+	// osm/compile, executed without interface dispatch).
+	Engine string `json:"engine,omitempty"`
 	// Check installs the runtime OSM invariant checker on the model's
 	// director: token conservation, binding consistency, scheduler
 	// equivalence and livelock detection verified every control step.
@@ -83,12 +88,36 @@ func knownTarget(t string) bool {
 	return false
 }
 
+// isOSM reports whether the target is driven by an OSM director (and
+// therefore has selectable execution engines).
+func (s *Spec) isOSM() bool { return s.Target == "strongarm" || s.Target == "ppc750" }
+
+// engine resolves the spec's engine selection, folding the legacy
+// Scan flag in.
+func (s *Spec) engine() (osm.Engine, error) {
+	eng, err := osm.ParseEngine(s.Engine)
+	if err != nil {
+		return osm.EngineEvent, err
+	}
+	if s.Scan {
+		eng = osm.EngineScan
+	}
+	return eng, nil
+}
+
 // Validate checks the spec for a known target and an unambiguous
 // program source. The error is a single line suitable for CLI and
 // HTTP error surfaces.
 func (s *Spec) Validate() error {
 	if !knownTarget(s.Target) {
 		return fmt.Errorf("unknown target %q (want one of %s)", s.Target, strings.Join(Targets, ", "))
+	}
+	if _, err := s.engine(); err != nil {
+		return err
+	}
+	if s.Engine != "" && !s.isOSM() {
+		return fmt.Errorf("engine %q: target %s has no OSM director (engines apply to strongarm and ppc750)",
+			s.Engine, s.Target)
 	}
 	var set []string
 	if s.Workload != "" {
@@ -394,11 +423,18 @@ func New(spec Spec) (*Instance, error) {
 	}
 	switch spec.Target {
 	case "strongarm":
-		s, err := strongarm.New(armProg, strongarm.Config{Hier: spec.hier()})
+		eng, _ := spec.engine()
+		s, err := strongarm.New(armProg, strongarm.Config{Hier: spec.hier(), Engine: eng})
 		if err != nil {
 			return nil, err
 		}
-		s.Director().Scan = spec.Scan
+		if eng == osm.EngineCompiled {
+			// Compile eagerly so model errors surface at session
+			// creation, not on the first step.
+			if _, err := s.Director().Compile(); err != nil {
+				return nil, err
+			}
+		}
 		if spec.Check {
 			invariant.Attach(s.Director())
 		}
@@ -419,11 +455,16 @@ func New(spec Spec) (*Instance, error) {
 			readMem: ramReader(s.ISS.RAM),
 		}, nil
 	case "ppc750":
-		s, err := ppc750.New(ppcProg, ppc750.Config{Hier: spec.hier()})
+		eng, _ := spec.engine()
+		s, err := ppc750.New(ppcProg, ppc750.Config{Hier: spec.hier(), Engine: eng})
 		if err != nil {
 			return nil, err
 		}
-		s.Director().Scan = spec.Scan
+		if eng == osm.EngineCompiled {
+			if _, err := s.Director().Compile(); err != nil {
+				return nil, err
+			}
+		}
 		if spec.Check {
 			invariant.Attach(s.Director())
 		}
@@ -502,11 +543,11 @@ func Run(spec Spec, opts RunOptions) (Result, error) {
 	}
 	switch spec.Target {
 	case "strongarm":
-		s, err := strongarm.New(armProg, strongarm.Config{Hier: spec.hier()})
+		eng, _ := spec.engine()
+		s, err := strongarm.New(armProg, strongarm.Config{Hier: spec.hier(), Engine: eng})
 		if err != nil {
 			return Result{}, err
 		}
-		s.Director().Scan = spec.Scan
 		if spec.Check {
 			invariant.Attach(s.Director())
 		}
@@ -542,11 +583,11 @@ func Run(spec Spec, opts RunOptions) (Result, error) {
 			Extra: map[string]string{"CPI": fmt.Sprintf("%.3f", st.CPI())},
 		}, nil
 	case "ppc750":
-		s, err := ppc750.New(ppcProg, ppc750.Config{Hier: spec.hier()})
+		eng, _ := spec.engine()
+		s, err := ppc750.New(ppcProg, ppc750.Config{Hier: spec.hier(), Engine: eng})
 		if err != nil {
 			return Result{}, err
 		}
-		s.Director().Scan = spec.Scan
 		if spec.Check {
 			invariant.Attach(s.Director())
 		}

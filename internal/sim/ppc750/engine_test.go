@@ -1,0 +1,63 @@
+package ppc750
+
+import (
+	"testing"
+
+	"repro/internal/osm"
+	"repro/internal/osm/invariant"
+	"repro/internal/workload"
+)
+
+// TestKernelsCorrectUnderCompiledEngine runs every kernel under the
+// compiled guard-program engine with the invariant checker attached.
+// The checker's scheduler-equivalence probe replays each control step
+// against the interpreted Figure 3 semantics, so this is a per-step
+// differential test of the compiled engine on the superscalar model —
+// rename buffers, rated queues and completion logic included.
+func TestKernelsCorrectUnderCompiledEngine(t *testing.T) {
+	for _, w := range workload.All() {
+		n := w.DefaultN / 10
+		p, err := w.PPCProgram(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(p, Config{Engine: osm.EngineCompiled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		invariant.Attach(s.Director())
+		if _, err := s.Run(1_000_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(s.ISS.Reported) != 1 || s.ISS.Reported[0] != w.Ref(n) {
+			t.Errorf("%s: checksum %v, want %#x", w.Name, s.ISS.Reported, w.Ref(n))
+		}
+	}
+}
+
+// TestEngineCycleAgreement pins the engines' timing equivalence at the
+// simulator level: the same kernel takes exactly the same number of
+// cycles under the scan, event and compiled engines.
+func TestEngineCycleAgreement(t *testing.T) {
+	w := workload.ByName("g721/dec")
+	n := w.DefaultN / 5
+	cycles := map[osm.Engine]uint64{}
+	for _, eng := range []osm.Engine{osm.EngineScan, osm.EngineEvent, osm.EngineCompiled} {
+		p, err := w.PPCProgram(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(p, Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Run(1_000_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		cycles[eng] = st.Cycles
+	}
+	if cycles[osm.EngineCompiled] != cycles[osm.EngineScan] || cycles[osm.EngineEvent] != cycles[osm.EngineScan] {
+		t.Fatalf("engines disagree on cycle count: %v", cycles)
+	}
+}

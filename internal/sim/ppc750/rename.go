@@ -221,6 +221,23 @@ func (r *renamer) CommitAllocate(m *osm.Machine, t osm.Token) { delete(r.undo, m
 // Release accepts the writer token back at completion.
 func (r *renamer) Release(m *osm.Machine, t osm.Token) bool { return true }
 
+// The manager opts in to the compiled engine's check-then-commit fast
+// path: a grant depends only on the identifier and the free rename
+// buffers, and CancelAllocate restores the manager exactly. (The
+// interpreter's cancelled grants additionally rewrite the requester's
+// producer set, but that set is rebuilt by every successful grant
+// before it can be read, so skipping failed attempts is unobservable.)
+var _ osm.CheckableManager = (*renamer)(nil)
+
+// CanAllocate predicts Allocate: WriterToken succeeds when enough
+// rename buffers are free for the operation's GPR destinations.
+func (r *renamer) CanAllocate(m *osm.Machine, id osm.TokenID) bool {
+	return id == WriterToken && r.bufUsed+opOf(m).gprDsts <= r.bufCap
+}
+
+// CanRelease predicts Release, which always accepts the token back.
+func (r *renamer) CanRelease(m *osm.Machine, t osm.Token) bool { return true }
+
 // CommitRelease frees the rename buffers. The newest-writer table
 // keeps its pointer: a completed producer's resultAt is in the past,
 // so readers see it as ready, and dropping the entry eagerly would

@@ -39,6 +39,10 @@ type Config struct {
 	// are ready (an ablation knob showing what the Fig. 2 multi-path
 	// OSM buys).
 	NoReservationStations bool
+	// Engine selects the director's execution engine (event-driven
+	// interpreter by default, reference scan, or compiled guard
+	// programs). All three are trace-equivalent; see DESIGN.md §12.
+	Engine osm.Engine
 }
 
 func (c *Config) fill() {
@@ -195,6 +199,25 @@ func (q *ratedQueue) CancelRelease(m *osm.Machine, t osm.Token) {
 	q.QueueManager.CancelRelease(m, t)
 }
 
+// The manager opts in to the compiled engine's check-then-commit fast
+// path: grants depend only on queue occupancy, releases on head order
+// and the per-cycle budget, and the embedded queue's cancels are
+// exact. The model installs no release gate, so Inquire predicts
+// Release completely.
+var _ osm.CheckableManager = (*ratedQueue)(nil)
+
+// CanAllocate predicts Allocate: the embedded queue grants whenever it
+// has a free entry (the identifier is ignored).
+func (q *ratedQueue) CanAllocate(m *osm.Machine, id osm.TokenID) bool {
+	return q.Len() < q.Cap()
+}
+
+// CanRelease predicts Release: budget left this cycle and t at the
+// head of the queue.
+func (q *ratedQueue) CanRelease(m *osm.Machine, t osm.Token) bool {
+	return q.n < q.max && q.QueueManager.Inquire(m, t.ID)
+}
+
 // unit is one function unit with its reservation station.
 type unit struct {
 	name string
@@ -260,6 +283,7 @@ func New(p *ppc.Program, cfg Config) (*Sim, error) {
 func (s *Sim) buildModel() {
 	d := osm.NewDirector()
 	d.NoRestart = s.cfg.NoRestart
+	d.Engine = s.cfg.Engine
 	s.director = d
 
 	mkUnit := func(name string, takes func(ppc.Class) bool) *unit {

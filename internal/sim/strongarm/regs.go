@@ -147,6 +147,21 @@ func (r *regFile) Allocate(m *osm.Machine, id osm.TokenID) (osm.Token, bool) {
 // CancelAllocate reverses a tentative WriterToken grant.
 func (r *regFile) CancelAllocate(m *osm.Machine, t osm.Token) { r.retire(m) }
 
+// The manager opts in to the compiled engine's check-then-commit fast
+// path: its grant decisions depend only on its own scoreboard and the
+// requester's committed context, and a cancelled grant leaves no
+// residue, so predicting the outcome is exact.
+var _ osm.CheckableManager = (*regFile)(nil)
+
+// CanAllocate predicts Allocate: WriterToken grants never fail (the
+// in-order pipeline has no WAW limit), any other identifier is
+// refused.
+func (r *regFile) CanAllocate(m *osm.Machine, id osm.TokenID) bool { return id == WriterToken }
+
+// CanRelease predicts Release, which always accepts the writer token
+// back.
+func (r *regFile) CanRelease(m *osm.Machine, t osm.Token) bool { return true }
+
 // Release always accepts the writer token back.
 func (r *regFile) Release(m *osm.Machine, t osm.Token) bool { return true }
 

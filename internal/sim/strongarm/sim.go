@@ -30,6 +30,10 @@ type Config struct {
 	// FixedMul charges every multiply the worst-case latency instead
 	// of SA-110-style early termination (an ablation knob).
 	FixedMul bool
+	// Engine selects the director's execution engine (event-driven
+	// interpreter by default, reference scan, or compiled guard
+	// programs). All three are trace-equivalent; see DESIGN.md §12.
+	Engine osm.Engine
 }
 
 // Stats reports a finished simulation.
@@ -138,6 +142,7 @@ func New(p *arm.Program, cfg Config) (*Sim, error) {
 func (s *Sim) buildModel(cfg Config) {
 	d := osm.NewDirector()
 	d.NoRestart = !cfg.Restart
+	d.Engine = cfg.Engine
 	s.director = d
 
 	iSt := osm.NewState("I")
