@@ -39,7 +39,7 @@ func run() int {
 		jobsFile  = flag.String("jobs", "", "JSON file with the job array")
 		mix       = flag.Bool("mix", false, "run the standard mixed ARM+PPC set over every workload")
 		n         = flag.Int("n", 0, "iteration count for -mix jobs (0 = per-workload default)")
-		scheduler = flag.String("scheduler", "event", "execution engine: event, scan or compiled")
+		scheduler = flag.String("scheduler", "event", "execution engine: event, scan, compiled or generated")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-job checkpoint files (enables resume)")
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "cycles between checkpoints (0 = none)")
 		deadline  = flag.Duration("deadline", 0, "per-job wall-clock deadline (0 = none)")
@@ -78,9 +78,9 @@ func run() int {
 		return fail(fmt.Errorf("empty job set"))
 	}
 	switch *scheduler {
-	case "event", "scan", "compiled":
+	case "event", "scan", "compiled", "generated":
 	default:
-		return fail(fmt.Errorf("unknown scheduler %q (want event, scan or compiled)", *scheduler))
+		return fail(fmt.Errorf("unknown scheduler %q (want event, scan, compiled or generated)", *scheduler))
 	}
 	for i := range jobs {
 		jobs[i].Scan = *scheduler == "scan"

@@ -217,11 +217,19 @@ func TestCheckpointResumeCompiled(t *testing.T) {
 	}
 }
 
+func TestCheckpointResumeGenerated(t *testing.T) {
+	for _, fx := range ckptWorkloadFixtures(t) {
+		t.Run(fx.label, func(t *testing.T) { checkpointResume(t, fx, osm.EngineGenerated) })
+	}
+}
+
 // TestCheckpointCrossEngine checks that snapshots are engine-neutral
-// in both directions: a snapshot taken mid-run under the compiled
-// engine restores into a simulator running any engine (compiled state
-// is derived from the model, never serialized), and the resumed run
-// reproduces the uninterrupted reference trace's tail exactly.
+// in every direction: a snapshot taken mid-run under the compiled or
+// the generated engine restores into a simulator running any of the
+// four engines (compiled guard programs and generated-function
+// resolutions are derived from the model, never serialized), at all
+// three cut points, and the resumed run reproduces the uninterrupted
+// reference trace's tail exactly.
 func TestCheckpointCrossEngine(t *testing.T) {
 	for _, fx := range ckptWorkloadFixtures(t) {
 		t.Run(fx.label, func(t *testing.T) {
@@ -231,35 +239,39 @@ func TestCheckpointCrossEngine(t *testing.T) {
 			runToEnd(t, ref, ckptLimit)
 			refRun := fx.final(ref)
 			refRun.events = refRec.Events()
-			c := refRun.cycles / 2
+			total := refRun.cycles
 
-			src := fx.build(t)
-			src.Director().Engine = osm.EngineCompiled
-			runCycles(t, src, c)
-			blob, err := src.Snapshot()
-			if err != nil {
-				t.Fatalf("snapshot at %d: %v", c, err)
-			}
-			var tail []osm.Event
-			for _, ev := range refRun.events {
-				if ev.Step >= c {
-					tail = append(tail, ev)
+			for _, srcEng := range []osm.Engine{osm.EngineCompiled, osm.EngineGenerated} {
+				for _, c := range []uint64{total / 4, total / 2, 3 * total / 4} {
+					src := fx.build(t)
+					src.Director().Engine = srcEng
+					runCycles(t, src, c)
+					blob, err := src.Snapshot()
+					if err != nil {
+						t.Fatalf("%v snapshot at %d: %v", srcEng, c, err)
+					}
+					var tail []osm.Event
+					for _, ev := range refRun.events {
+						if ev.Step >= c {
+							tail = append(tail, ev)
+						}
+					}
+					want := refRun
+					want.events = tail
+					for _, eng := range []osm.Engine{osm.EngineScan, osm.EngineEvent, osm.EngineCompiled, osm.EngineGenerated} {
+						dst := fx.build(t)
+						dst.Director().Engine = eng
+						if err := dst.Restore(blob); err != nil {
+							t.Fatalf("restore %v snapshot into %v: %v", srcEng, eng, err)
+						}
+						dstRec := osm.NewRecorder()
+						dst.Director().Tracer = dstRec
+						runToEnd(t, dst, ckptLimit)
+						got := fx.final(dst)
+						got.events = dstRec.Events()
+						compareRuns(t, fx.label+"/"+srcEng.String()+"@"+eng.String(), want, got)
+					}
 				}
-			}
-			want := refRun
-			want.events = tail
-			for _, eng := range []osm.Engine{osm.EngineScan, osm.EngineEvent, osm.EngineCompiled} {
-				dst := fx.build(t)
-				dst.Director().Engine = eng
-				if err := dst.Restore(blob); err != nil {
-					t.Fatalf("restore into %v: %v", eng, err)
-				}
-				dstRec := osm.NewRecorder()
-				dst.Director().Tracer = dstRec
-				runToEnd(t, dst, ckptLimit)
-				got := fx.final(dst)
-				got.events = dstRec.Events()
-				compareRuns(t, fx.label+"/"+eng.String(), want, got)
 			}
 		})
 	}

@@ -10,8 +10,9 @@ import (
 )
 
 // These tests run the two case-study models under every execution
-// engine — the reference scan scheduler, the event-driven scheduler
-// and the compiled guard-program engine — in lockstep and require
+// engine — the reference scan scheduler, the event-driven scheduler,
+// the compiled guard-program engine and the generated-code engine
+// (edges_gen.go) — in lockstep and require
 // bit-identical behavior: the full transition trace (and its running
 // checksum), the cycle count, and the final architectural state. They
 // are the system-level counterpart of the model-level equivalence
@@ -143,7 +144,7 @@ func TestDifferentialStrongARM(t *testing.T) {
 			if len(ref.events) == 0 {
 				t.Fatalf("%s: reference run recorded no transitions", wl.w.Name)
 			}
-			for _, eng := range []osm.Engine{osm.EngineEvent, osm.EngineCompiled} {
+			for _, eng := range []osm.Engine{osm.EngineEvent, osm.EngineCompiled, osm.EngineGenerated} {
 				got := runARMDiff(t, wl.w, wl.n, restart, eng)
 				label := wl.w.Name + "/" + eng.String()
 				if restart {
@@ -162,7 +163,7 @@ func TestDifferentialPPC750(t *testing.T) {
 			if len(ref.events) == 0 {
 				t.Fatalf("%s: reference run recorded no transitions", wl.w.Name)
 			}
-			for _, eng := range []osm.Engine{osm.EngineEvent, osm.EngineCompiled} {
+			for _, eng := range []osm.Engine{osm.EngineEvent, osm.EngineCompiled, osm.EngineGenerated} {
 				got := runPPCDiff(t, wl.w, wl.n, noRestart, eng)
 				label := wl.w.Name + "/" + eng.String()
 				if noRestart {

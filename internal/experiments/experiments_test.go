@@ -121,6 +121,62 @@ func TestSpeedPPCShape(t *testing.T) {
 	}
 }
 
+// TestEngineMatrixShape checks the machine-readable engine matrix
+// behind osmbench -json: every (target, workload) pair is measured
+// under all four engines, and within a pair the engines agree on the
+// simulated cycle count (speed may differ, timing must not).
+func TestEngineMatrixShape(t *testing.T) {
+	samples, err := EngineMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ target, wl string }
+	byPair := map[key]map[string]EngineSample{}
+	for _, s := range samples {
+		if s.Cycles == 0 || s.CyclesPerSec <= 0 {
+			t.Errorf("%s/%s/%s: empty measurement: %+v", s.Target, s.Workload, s.Engine, s)
+		}
+		k := key{s.Target, s.Workload}
+		if byPair[k] == nil {
+			byPair[k] = map[string]EngineSample{}
+		}
+		byPair[k][s.Engine] = s
+	}
+	for k, engs := range byPair {
+		if len(engs) != 4 {
+			t.Errorf("%s/%s: %d engines measured, want 4", k.target, k.wl, len(engs))
+		}
+		ref := engs["scan"]
+		for name, s := range engs {
+			if s.Cycles != ref.Cycles {
+				t.Errorf("%s/%s: %s simulated %d cycles, scan %d", k.target, k.wl, name, s.Cycles, ref.Cycles)
+			}
+		}
+	}
+	targets := map[string]bool{}
+	for k := range byPair {
+		targets[k.target] = true
+	}
+	if !targets["strongarm"] || !targets["ppc750"] {
+		t.Errorf("matrix misses a case study: %v", targets)
+	}
+}
+
+func TestEngineSpeedTableReferences(t *testing.T) {
+	rs := []SpeedResult{
+		{Name: "generated", CyclesPerSec: 400},
+		{Name: "compiled", CyclesPerSec: 300},
+		{Name: "event", CyclesPerSec: 200},
+		{Name: "scan", CyclesPerSec: 100},
+	}
+	out := EngineSpeedTable("t", rs).String()
+	for _, want := range []string{"vs scan", "vs event", "4.00x", "2.00x", "1.50x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("engine table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestValidatePPCWithinTolerance(t *testing.T) {
 	rows, err := ValidatePPC(1)
 	if err != nil {

@@ -125,6 +125,16 @@ type Director struct {
 	// useComp is true while the current step serves machines through
 	// their compiled programs.
 	useComp bool
+	// genFns holds the generated edge functions installed with
+	// AttachGenerated; gen is their resolution against the current
+	// model (generated.go), rebuilt lazily after AddMachine/AddManager
+	// invalidate it. Like comp, gen is derived state and is never
+	// serialized.
+	genFns map[string]GenEdge
+	gen    *GenProgram
+	// useGen is true while the current step serves machines through
+	// their generated edge functions.
+	useGen bool
 }
 
 // NewDirector returns an empty director with default (age-based)
@@ -138,6 +148,7 @@ func (d *Director) AddMachine(ms ...*Machine) {
 	d.ev.init = false
 	d.primInit = false
 	d.comp = nil
+	d.gen = nil
 }
 
 // AddManager registers a token manager. Managers implementing Stepper
@@ -152,6 +163,7 @@ func (d *Director) AddManager(ms ...TokenManager) {
 	}
 	d.ev.init = false
 	d.comp = nil
+	d.gen = nil
 }
 
 // Machines returns the registered machines in registration order.
@@ -258,6 +270,13 @@ func (d *Director) serveMachine(m *Machine) (bool, *Edge, error) {
 	wasInitial := m.InInitial()
 	m.blocked = m.blocked[:0] // keep only this pass's failures
 	m.sched.untracked = false
+	if d.useGen {
+		if gs := d.gen.stateOf(m.cur); gs != nil {
+			return d.serveGenerated(m, gs, wasInitial)
+		}
+		// A state unknown to the program (the graph was mutated after
+		// resolution) falls back to the interpreted path.
+	}
 	if d.useComp {
 		if cs := d.comp.stateOf(m.cur); cs != nil {
 			return d.serveCompiled(m, cs, wasInitial)
@@ -293,6 +312,7 @@ func (d *Director) serveMachine(m *Machine) (bool, *Edge, error) {
 // over the full machine population every control step.
 func (d *Director) stepScan() error {
 	d.useComp = false
+	d.useGen = false
 	d.ensurePrims()
 	for _, s := range d.steppers {
 		s.BeginStep(d.step)

@@ -146,15 +146,23 @@ func (d *Director) initEvent() {
 // It serves both the interpreted event engine and the compiled engine,
 // which differ only in how serveMachine evaluates guards.
 func (d *Director) stepEvent() error {
-	if d.Engine == EngineCompiled {
+	switch d.Engine {
+	case EngineCompiled:
 		if d.comp == nil {
 			if _, err := d.Compile(); err != nil {
 				return err
 			}
 		}
-		d.useComp = true
-	} else {
-		d.useComp = false
+		d.useComp, d.useGen = true, false
+	case EngineGenerated:
+		if d.gen == nil {
+			if _, err := d.generatedProgram(); err != nil {
+				return err
+			}
+		}
+		d.useComp, d.useGen = false, true
+	default:
+		d.useComp, d.useGen = false, false
 	}
 	ev := &d.ev
 	if !ev.init {

@@ -19,6 +19,13 @@ import "fmt"
 //     the built-in managers, so the hot loop runs without interface
 //     dispatch. The interpreted engines remain the differential
 //     oracle.
+//   - EngineGenerated also keeps the event-driven scheduling but
+//     executes guards through generated Go edge functions
+//     (generated.go) attached with Director.AttachGenerated — one
+//     monomorphic function per edge, typically emitted by
+//     internal/osm/gen from the same elaborated structures Compile
+//     consumes, with When predicates and manager fast paths inlined
+//     at source level.
 type Engine uint8
 
 const (
@@ -29,6 +36,9 @@ const (
 	// EngineCompiled executes compiled guard programs under
 	// event-driven scheduling.
 	EngineCompiled
+	// EngineGenerated executes generated Go edge functions under
+	// event-driven scheduling (see Director.AttachGenerated).
+	EngineGenerated
 )
 
 // String returns the engine's canonical spelling, as accepted by
@@ -41,6 +51,8 @@ func (e Engine) String() string {
 		return "scan"
 	case EngineCompiled:
 		return "compiled"
+	case EngineGenerated:
+		return "generated"
 	}
 	return fmt.Sprintf("engine(%d)", uint8(e))
 }
@@ -55,8 +67,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineScan, nil
 	case "compiled":
 		return EngineCompiled, nil
+	case "generated":
+		return EngineGenerated, nil
 	}
-	return EngineEvent, fmt.Errorf("osm: unknown engine %q (want scan, event or compiled)", s)
+	return EngineEvent, fmt.Errorf("osm: unknown engine %q (want scan, event, compiled or generated)", s)
 }
 
 // engine resolves the effective engine for the next step: the legacy

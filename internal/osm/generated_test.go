@@ -1,0 +1,353 @@
+package osm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// genPipeline builds the saturated 5-stage ring of bench_test.go with
+// unique state names (the generated engine resolves edges by
+// state/edge name) and hand-written generated edge functions written
+// exactly the way internal/osm/gen emits them: gate check, When,
+// mutation-free availability pass, commit pass through the Gen
+// helpers. tries, when non-nil, counts Try invocations so tests can
+// assert the generated path actually ran.
+func genPipeline(tries *int) (*Director, map[string]GenEdge) {
+	stages := make([]*UnitManager, 5)
+	states := make([]*State, 6)
+	states[0] = NewState("I")
+	for k := 0; k < 5; k++ {
+		stages[k] = NewUnitManager(fmt.Sprintf("s%d", k), 1)
+		states[k+1] = NewState(fmt.Sprintf("S%d", k+1))
+	}
+	states[0].Connect("in", states[1], Alloc(stages[0], 0))
+	for k := 1; k < 5; k++ {
+		states[k].Connect("adv", states[k+1], Release(stages[k-1], 0), Alloc(stages[k], 0))
+	}
+	states[5].Connect("out", states[0], Release(stages[4], 0))
+	d := NewDirector()
+	d.NoRestart = true
+	for _, s := range stages {
+		d.AddManager(s)
+	}
+	for k := 0; k < 6; k++ {
+		d.AddMachine(NewMachine(fmt.Sprintf("m%d", k), states[0]))
+	}
+
+	count := func() {
+		if tries != nil {
+			*tries++
+		}
+	}
+	fns := map[string]GenEdge{
+		GenKey("I", "in"): {
+			Try: func(m *Machine, e *Edge) (bool, error) {
+				count()
+				if stages[0].AllocGate != nil {
+					return m.GenFallback(e)
+				}
+				if !stages[0].CanAllocate(0) {
+					return m.GenBlock(e, 0), nil
+				}
+				tk0, _ := stages[0].Allocate(m, 0)
+				m.GenAdd(tk0)
+				return true, m.GenFinish(e)
+			},
+			Probe: func(m *Machine, e *Edge) bool {
+				if stages[0].AllocGate != nil {
+					return m.ProbeEdge(e)
+				}
+				return stages[0].CanAllocate(0)
+			},
+		},
+		GenKey("S5", "out"): {
+			Try: func(m *Machine, e *Edge) (bool, error) {
+				count()
+				if stages[4].ReleaseGate != nil {
+					return m.GenFallback(e)
+				}
+				t0 := m.GenFindHeld(stages[4], 0)
+				if t0 < 0 {
+					return false, m.GenErrNotHeld(e, stages[4], 0)
+				}
+				if !stages[4].CanRelease(m.GenTokenAt(t0).ID) {
+					return m.GenBlock(e, 0), nil
+				}
+				rt0 := m.GenRemoveAt(t0)
+				stages[4].Release(m, rt0)
+				return true, m.GenFinish(e)
+			},
+			Probe: func(m *Machine, e *Edge) bool {
+				if stages[4].ReleaseGate != nil {
+					return m.ProbeEdge(e)
+				}
+				t0 := m.GenFindHeld(stages[4], 0)
+				return t0 >= 0 && stages[4].CanRelease(m.GenTokenAt(t0).ID)
+			},
+		},
+	}
+	for k := 1; k < 5; k++ {
+		rel, alc := stages[k-1], stages[k]
+		fns[GenKey(fmt.Sprintf("S%d", k), "adv")] = GenEdge{
+			Try: func(m *Machine, e *Edge) (bool, error) {
+				count()
+				if rel.ReleaseGate != nil || alc.AllocGate != nil {
+					return m.GenFallback(e)
+				}
+				t0 := m.GenFindHeld(rel, 0)
+				if t0 < 0 {
+					return false, m.GenErrNotHeld(e, rel, 0)
+				}
+				if !rel.CanRelease(m.GenTokenAt(t0).ID) {
+					return m.GenBlock(e, 0), nil
+				}
+				if !alc.CanAllocate(0) {
+					return m.GenBlock(e, 1), nil
+				}
+				rt0 := m.GenRemoveAt(t0)
+				rel.Release(m, rt0)
+				tk1, _ := alc.Allocate(m, 0)
+				m.GenAdd(tk1)
+				return true, m.GenFinish(e)
+			},
+			Probe: func(m *Machine, e *Edge) bool {
+				if rel.ReleaseGate != nil || alc.AllocGate != nil {
+					return m.ProbeEdge(e)
+				}
+				t0 := m.GenFindHeld(rel, 0)
+				return t0 >= 0 && rel.CanRelease(m.GenTokenAt(t0).ID) && alc.CanAllocate(0)
+			},
+		}
+	}
+	return d, fns
+}
+
+// traceLog records every committed transition as "step/machine/edge"
+// lines, a total order the engines must agree on exactly.
+func traceLog(d *Director) *strings.Builder {
+	var b strings.Builder
+	d.Tracer = TracerFunc(func(step uint64, m *Machine, e *Edge) {
+		fmt.Fprintf(&b, "%d/%s/%s\n", step, m.Name, e.Name)
+	})
+	return &b
+}
+
+// TestGeneratedEngineMatchesEvent holds the generated engine to
+// trace identity with the event engine on the saturated ring, and
+// asserts the generated functions actually executed (rather than the
+// model silently running interpreted).
+func TestGeneratedEngineMatchesEvent(t *testing.T) {
+	ref, _ := genPipeline(nil)
+	ref.Engine = EngineEvent
+	want := traceLog(ref)
+	for i := 0; i < 200; i++ {
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tries := 0
+	d, fns := genPipeline(&tries)
+	d.Engine = EngineGenerated
+	if err := d.AttachGenerated(fns); err != nil {
+		t.Fatal(err)
+	}
+	got := traceLog(d)
+	for i := 0; i < 200; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tries == 0 {
+		t.Fatal("generated Try functions never ran")
+	}
+	if got.String() != want.String() {
+		t.Fatalf("transition traces diverge:\ngenerated:\n%s\nevent:\n%s", got, want)
+	}
+}
+
+// TestGeneratedProbeAgreement cross-checks GenProgram.Probe against
+// the interpreted Machine.ProbeEdge at every step of a generated-
+// engine run.
+func TestGeneratedProbeAgreement(t *testing.T) {
+	d, fns := genPipeline(nil)
+	d.Engine = EngineGenerated
+	if err := d.AttachGenerated(fns); err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Generated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range d.Machines() {
+			for _, e := range m.State().Out {
+				want := m.ProbeEdge(e)
+				got, err := g.Probe(m, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("step %d: machine %s edge %s: generated probe %v, interpreted %v",
+						i, m.Name, e.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedEngineSurvivesModelGrowth adds a machine after the
+// program resolved: AddMachine invalidates the resolution, which must
+// rebuild from the attached map on the next step.
+func TestGeneratedEngineSurvivesModelGrowth(t *testing.T) {
+	d, fns := genPipeline(nil)
+	d.Engine = EngineGenerated
+	if err := d.AttachGenerated(fns); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.AddMachine(NewMachine("late", d.Machines()[0].Initial))
+	for i := 0; i < 10; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAttachGeneratedErrors exercises the resolution failure modes:
+// no attachment, a missing key, a half-set entry, and two distinct
+// edges sharing a key.
+func TestAttachGeneratedErrors(t *testing.T) {
+	t.Run("none", func(t *testing.T) {
+		d, _ := genPipeline(nil)
+		d.Engine = EngineGenerated
+		if err := d.Step(); err == nil || !strings.Contains(err.Error(), "no edge functions attached") {
+			t.Fatalf("err = %v, want no-edge-functions error", err)
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		d, fns := genPipeline(nil)
+		delete(fns, GenKey("S5", "out"))
+		err := d.AttachGenerated(fns)
+		if err == nil || !strings.Contains(err.Error(), `no generated function for key "S5/out"`) {
+			t.Fatalf("err = %v, want missing-key error", err)
+		}
+	})
+	t.Run("halfSet", func(t *testing.T) {
+		d, fns := genPipeline(nil)
+		e := fns[GenKey("I", "in")]
+		e.Probe = nil
+		fns[GenKey("I", "in")] = e
+		err := d.AttachGenerated(fns)
+		if err == nil || !strings.Contains(err.Error(), "Try and Probe must both be set") {
+			t.Fatalf("err = %v, want half-set error", err)
+		}
+	})
+	t.Run("ambiguous", func(t *testing.T) {
+		// Two distinct states named "S", each with an edge named "x":
+		// the state/edge key cannot identify the edge.
+		u := NewUnitManager("u", 2)
+		i := NewState("I")
+		a, b := NewState("S"), NewState("S")
+		i.Connect("toA", a, Alloc(u, 0))
+		i.Connect("toB", b, Alloc(u, 1))
+		a.Connect("x", i, Release(u, 0))
+		b.Connect("x", i, Release(u, 1))
+		d := NewDirector()
+		d.AddManager(u)
+		d.AddMachine(NewMachine("m", i))
+		pass := func(m *Machine, e *Edge) (bool, error) { return m.GenFallback(e) }
+		probe := func(m *Machine, e *Edge) bool { return m.ProbeEdge(e) }
+		fns := map[string]GenEdge{}
+		for _, k := range []string{"I/toA", "I/toB", "S/x"} {
+			fns[k] = GenEdge{Try: pass, Probe: probe}
+		}
+		err := d.AttachGenerated(fns)
+		if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+			t.Fatalf("err = %v, want ambiguity error", err)
+		}
+	})
+}
+
+// TestGeneratedFallbackOnGate installs an alloc gate mid-run: the
+// generated function must detect it and delegate to the interpreter,
+// preserving semantics (the gate refuses every allocation, so the
+// ring wedges exactly as under the event engine).
+func TestGeneratedFallbackOnGate(t *testing.T) {
+	run := func(engine Engine) string {
+		d, fns := genPipeline(nil)
+		d.Engine = engine
+		if engine == EngineGenerated {
+			if err := d.AttachGenerated(fns); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var gated *UnitManager
+		for _, st := range d.Machines()[0].Initial.Out {
+			gated = st.Prims[0].Mgr.(*UnitManager)
+		}
+		log := traceLog(d)
+		for i := 0; i < 30; i++ {
+			if i == 10 {
+				gated.AllocGate = func(m *Machine, unit TokenID) bool { return false }
+			}
+			if err := d.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return log.String()
+	}
+	if got, want := run(EngineGenerated), run(EngineEvent); got != want {
+		t.Fatalf("gated traces diverge:\ngenerated:\n%s\nevent:\n%s", got, want)
+	}
+}
+
+// BenchmarkDirectorStepPipelineGenerated runs the saturated ring
+// through hand-written generated edge functions (EngineGenerated) —
+// the same functions internal/osm/gen emits for real models. The CI
+// bench-regression job compares it against the compiled engine.
+func BenchmarkDirectorStepPipelineGenerated(b *testing.B) {
+	d, fns := genPipeline(nil)
+	d.Engine = EngineGenerated
+	if err := d.AttachGenerated(fns); err != nil {
+		b.Fatal(err)
+	}
+	benchSteps(b, d)
+}
+
+// BenchmarkDirectorStepIdleGenerated measures the idle step under the
+// generated engine (all machines suspended; the step must not touch
+// the edge functions at all).
+func BenchmarkDirectorStepIdleGenerated(b *testing.B) {
+	u := NewUnitManager("u", 1)
+	i, s := NewState("I"), NewState("S")
+	i.Connect("go", s, Alloc(u, 0))
+	s.Connect("stay", i, Release(u, 0))
+	u.SetBusy(0, 1<<62)
+	d := NewDirector()
+	d.Engine = EngineGenerated
+	d.AddManager(u)
+	for k := 0; k < 8; k++ {
+		d.AddMachine(NewMachine("m", i))
+	}
+	blockAll := func(m *Machine, e *Edge) (bool, error) { return m.GenFallback(e) }
+	probeAll := func(m *Machine, e *Edge) bool { return m.ProbeEdge(e) }
+	if err := d.AttachGenerated(map[string]GenEdge{
+		"I/go":   {Try: blockAll, Probe: probeAll},
+		"S/stay": {Try: blockAll, Probe: probeAll},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Step(); err != nil { // settle: every machine blocks on the busy gate
+		b.Fatal(err)
+	}
+	benchSteps(b, d)
+}

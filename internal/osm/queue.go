@@ -94,6 +94,17 @@ func (q *QueueManager) Inquire(m *Machine, id TokenID) bool {
 	return q.n > 0 && q.ring[q.head].id == id
 }
 
+// CanAllocate reports whether Allocate would grant: the queue has a
+// free slot. Mutation-free, for check-then-commit callers.
+func (q *QueueManager) CanAllocate() bool { return q.n < q.capacity }
+
+// CanRelease reports whether a gate-free Release of the held token id
+// would accept: the token is the queue's head. It ignores any
+// installed ReleaseGate — check-then-commit callers must test the
+// gate themselves and take the transactional route when one is
+// installed.
+func (q *QueueManager) CanRelease(id TokenID) bool { return q.n > 0 && q.ring[q.head].id == id }
+
 // Release accepts the return of t only when t is the queue's head —
 // in-order retirement.
 func (q *QueueManager) Release(m *Machine, t Token) bool {

@@ -100,6 +100,12 @@ func (r *RegFileManager) Allocate(m *Machine, id TokenID) (Token, bool) {
 }
 
 // CancelAllocate returns the tentatively taken rename slot.
+// CanAllocate reports whether Allocate(id) would grant, without
+// taking the rename slot. Mutation-free, for check-then-commit
+// callers (the compiled engine's pure path and generated edge
+// functions).
+func (r *RegFileManager) CanAllocate(id TokenID) bool { return rfCanAllocate(r, id) }
+
 func (r *RegFileManager) CancelAllocate(m *Machine, t Token) {
 	reg, _, _ := r.split(t.ID)
 	r.pending[reg]--

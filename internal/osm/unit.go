@@ -84,6 +84,20 @@ func (u *UnitManager) Busy(unit TokenID) uint64 {
 	return 0
 }
 
+// CanAllocate reports whether a gate-free Allocate(id) would grant,
+// without transacting anything. It ignores any installed AllocGate —
+// callers on the check-then-commit fast path (the compiled engine's
+// pure path and generated edge functions) must test the gate
+// themselves and take the transactional route when one is installed.
+func (u *UnitManager) CanAllocate(id TokenID) bool { return unitCanAllocate(u, id) }
+
+// CanRelease reports whether a gate-free Release of the held token id
+// would accept: the unit's busy window has expired. Like CanAllocate
+// it ignores any installed ReleaseGate.
+func (u *UnitManager) CanRelease(id TokenID) bool {
+	return id >= 0 && int(id) < len(u.busyUntil) && u.busyUntil[id] <= u.step
+}
+
 // BeginStep records the current control step (Stepper). When a unit's
 // busy window expires at this step, previously refused releases can
 // now succeed, so the manager wakes its waiters.

@@ -60,8 +60,10 @@ type Spec struct {
 	// the legacy form of Engine = "scan" and takes precedence.
 	Scan bool `json:"scan,omitempty"`
 	// Engine selects the execution engine on OSM targets: "event"
-	// (default), "scan" or "compiled" (guard programs compiled by
-	// osm/compile, executed without interface dispatch).
+	// (default), "scan", "compiled" (guard programs compiled by
+	// osm/compile, executed without interface dispatch) or "generated"
+	// (monomorphic Go edge functions emitted by osmgen and built into
+	// the binary).
 	Engine string `json:"engine,omitempty"`
 	// Check installs the runtime OSM invariant checker on the model's
 	// director: token conservation, binding consistency, scheduler
@@ -435,6 +437,13 @@ func New(spec Spec) (*Instance, error) {
 				return nil, err
 			}
 		}
+		if eng == osm.EngineGenerated {
+			// Resolve the generated edge functions eagerly for the same
+			// reason.
+			if _, err := s.Director().Generated(); err != nil {
+				return nil, err
+			}
+		}
 		if spec.Check {
 			invariant.Attach(s.Director())
 		}
@@ -462,6 +471,11 @@ func New(spec Spec) (*Instance, error) {
 		}
 		if eng == osm.EngineCompiled {
 			if _, err := s.Director().Compile(); err != nil {
+				return nil, err
+			}
+		}
+		if eng == osm.EngineGenerated {
+			if _, err := s.Director().Generated(); err != nil {
 				return nil, err
 			}
 		}

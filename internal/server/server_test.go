@@ -701,32 +701,35 @@ func TestMetricsRender(t *testing.T) {
 }
 
 // TestEngineSelectionOverHTTP pins the wire-level engine field: a raw
-// session-create body with "engine": "compiled" must run under the
-// compiled engine and remain indistinguishable from the default
-// event-driven session — same cycle count and whole-run trace
-// checksum — and an unknown engine must be rejected at creation.
+// session-create body with "engine": "compiled" or "engine":
+// "generated" must run under that engine and remain indistinguishable
+// from the default event-driven session — same cycle count and
+// whole-run trace checksum — and an unknown engine must be rejected at
+// creation.
 func TestEngineSelectionOverHTTP(t *testing.T) {
 	_, cl, done := newTestServer(t, Config{})
 	defer done()
 	for _, spec := range diffSpecs {
 		ref := cl.create(spec)
 		refFinal := cl.stepToDone(ref.ID, 10_000)
-		body := fmt.Sprintf(`{"target":%q,"workload":%q,"n":%d,"engine":"compiled"}`,
-			spec.Target, spec.Workload, spec.N)
-		resp, data := cl.do("POST", "/v1/sessions", []byte(body), "application/json")
-		if resp.StatusCode != http.StatusCreated {
-			t.Fatalf("%s: create with engine=compiled: status %d: %s", spec.Target, resp.StatusCode, data)
-		}
-		var info Info
-		if err := json.Unmarshal(data, &info); err != nil {
-			t.Fatal(err)
-		}
-		final := cl.stepToDone(info.ID, 10_000)
-		if final.Cycle != refFinal.Cycle {
-			t.Fatalf("%s: compiled run took %d cycles, event run %d", spec.Target, final.Cycle, refFinal.Cycle)
-		}
-		if a, b := cl.info(info.ID).TraceChecksum, cl.info(ref.ID).TraceChecksum; a != b {
-			t.Fatalf("%s: compiled trace checksum %s, event %s", spec.Target, a, b)
+		for _, engine := range []string{"compiled", "generated"} {
+			body := fmt.Sprintf(`{"target":%q,"workload":%q,"n":%d,"engine":%q}`,
+				spec.Target, spec.Workload, spec.N, engine)
+			resp, data := cl.do("POST", "/v1/sessions", []byte(body), "application/json")
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("%s: create with engine=%s: status %d: %s", spec.Target, engine, resp.StatusCode, data)
+			}
+			var info Info
+			if err := json.Unmarshal(data, &info); err != nil {
+				t.Fatal(err)
+			}
+			final := cl.stepToDone(info.ID, 10_000)
+			if final.Cycle != refFinal.Cycle {
+				t.Fatalf("%s: %s run took %d cycles, event run %d", spec.Target, engine, final.Cycle, refFinal.Cycle)
+			}
+			if a, b := cl.info(info.ID).TraceChecksum, cl.info(ref.ID).TraceChecksum; a != b {
+				t.Fatalf("%s: %s trace checksum %s, event %s", spec.Target, engine, a, b)
+			}
 		}
 	}
 	resp, data := cl.do("POST", "/v1/sessions",

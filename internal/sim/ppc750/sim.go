@@ -40,8 +40,9 @@ type Config struct {
 	// OSM buys).
 	NoReservationStations bool
 	// Engine selects the director's execution engine (event-driven
-	// interpreter by default, reference scan, or compiled guard
-	// programs). All three are trace-equivalent; see DESIGN.md §12.
+	// interpreter by default, reference scan, compiled guard programs,
+	// or generated Go edge functions). All four are trace-equivalent;
+	// see DESIGN.md §12-13.
 	Engine osm.Engine
 }
 
@@ -276,11 +277,47 @@ func New(p *ppc.Program, cfg Config) (*Sim, error) {
 		fetchPC: p.Entry,
 	}
 	s.decodeCache = make(map[uint32]*decoded)
-	s.buildModel()
+	if err := s.buildModel(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
-func (s *Sim) buildModel() {
+// The When predicates below are named methods, not builder-local
+// closures, so the generated edge functions (edges_gen.go) can call
+// exactly the predicates the interpreted model evaluates.
+
+// whenFetch gates the fetch edge (I -> Q).
+func (s *Sim) whenFetch(m *osm.Machine) bool { return s.fetchOK() }
+
+// whenDisp gates a fast-dispatch edge (Q -> Eu): only the queue head
+// may dispatch (in-order; checking here keeps non-head machines from
+// probing the whole edge fan every control step), and the unit must
+// execute the operation's class. An undecodable operation at the head
+// of the queue is a model error; it routes to the system unit so
+// dispatch can surface it instead of wedging.
+func (s *Sim) whenDisp(u *unit, m *osm.Machine) bool {
+	if s.fq.Head() != m {
+		return false
+	}
+	o := opOf(m)
+	if !o.decodeOK {
+		return u.name == "sru"
+	}
+	return u.takes(o.class)
+}
+
+// whenDispRS gates a reservation-station dispatch edge (Q -> Wu).
+// Undecodable operations only use the fast path above.
+func (s *Sim) whenDispRS(u *unit, m *osm.Machine) bool {
+	if s.fq.Head() != m {
+		return false
+	}
+	o := opOf(m)
+	return o.decodeOK && u.takes(o.class)
+}
+
+func (s *Sim) buildModel() error {
 	d := osm.NewDirector()
 	d.NoRestart = s.cfg.NoRestart
 	d.Engine = s.cfg.Engine
@@ -311,27 +348,11 @@ func (s *Sim) buildModel() {
 	cSt := osm.NewState("C")
 
 	fetch := iSt.Connect("fetch", qSt, osm.Alloc(s.fq, osm.AnyUnit))
-	fetch.When = func(m *osm.Machine) bool { return s.fetchOK() }
+	fetch.When = s.whenFetch
 	fetch.Action = func(m *osm.Machine) { s.fetchOne(m) }
 
 	for _, u := range s.units {
 		u := u
-		when := func(m *osm.Machine) bool {
-			// Only the queue head can dispatch (in-order); checking
-			// here keeps non-head machines from probing the whole
-			// edge fan every control step.
-			if s.fq.Head() != m {
-				return false
-			}
-			o := opOf(m)
-			if !o.decodeOK {
-				// An undecodable operation at the head of the queue is
-				// a model error; route it to the system unit so
-				// dispatch can surface it instead of wedging.
-				return u.name == "sru"
-			}
-			return u.takes(o.class)
-		}
 		// Fast dispatch: operands and unit available — straight into
 		// the execute stage (paper Fig. 2's high-priority path).
 		fast := qSt.Connect("disp-"+u.name, u.e,
@@ -340,7 +361,7 @@ func (s *Sim) buildModel() {
 			osm.Inquire(s.ren, SrcsToken),
 			osm.Alloc(s.ren, WriterToken),
 			osm.Alloc(u.fu, 0))
-		fast.When = when
+		fast.When = func(m *osm.Machine) bool { return s.whenDisp(u, m) }
 		fast.Action = func(m *osm.Machine) {
 			s.dispatchExec(m)
 			s.enterExec(m, u)
@@ -349,21 +370,13 @@ func (s *Sim) buildModel() {
 	if !s.cfg.NoReservationStations {
 		for _, u := range s.units {
 			u := u
-			when := func(m *osm.Machine) bool {
-				if s.fq.Head() != m {
-					return false
-				}
-				o := opOf(m)
-				return o.decodeOK && u.takes(o.class)
-			}
 			// Slow dispatch: into the unit's reservation station.
-			// (Undecodable operations only use the fast path above.)
 			slow := qSt.Connect("rs-"+u.name, u.w,
 				osm.ReleaseF(s.fq, anyHeld),
 				osm.Alloc(s.cq, osm.AnyUnit),
 				osm.Alloc(s.ren, WriterToken),
 				osm.Alloc(u.rs, 0))
-			slow.When = when
+			slow.When = func(m *osm.Machine) bool { return s.whenDispRS(u, m) }
 			slow.Action = func(m *osm.Machine) { s.dispatchExec(m) }
 		}
 	}
@@ -407,6 +420,21 @@ func (s *Sim) buildModel() {
 		s.fetchCount = 0
 		return d.Step()
 	}
+
+	// The generated engine's edge functions (edges_gen.go, emitted by
+	// cmd/osmgen) attach unconditionally: an attachment is derived
+	// state the other engines simply ignore, and it keeps a snapshot
+	// taken under any engine restorable into a generated-engine
+	// director. The NoReservationStations variant leaves the rs-*
+	// entries of the map unused, which resolution permits. A
+	// resolution error (the generated file drifted from the model) is
+	// fatal only when the generated engine was actually requested;
+	// otherwise it resurfaces on the first Step if the engine is ever
+	// switched.
+	if err := d.AttachGenerated(s.genEdges()); err != nil && s.cfg.Engine == osm.EngineGenerated {
+		return err
+	}
+	return nil
 }
 
 // anyHeld resolves a release against whichever token the machine

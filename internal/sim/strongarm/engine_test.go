@@ -35,14 +35,81 @@ func TestKernelsCorrectUnderCompiledEngine(t *testing.T) {
 	}
 }
 
+// TestKernelsCorrectUnderGeneratedEngine runs every kernel under the
+// generated-code engine (edges_gen.go) with the invariant checker
+// attached: the checker's scheduler-equivalence probe replays each
+// control step against the interpreted Figure 3 semantics, so every
+// generated edge function is differentially tested per step on the
+// real pipeline model.
+func TestKernelsCorrectUnderGeneratedEngine(t *testing.T) {
+	for _, w := range workload.All() {
+		n := w.DefaultN / 10
+		p, err := w.ARMProgram(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(p, Config{Engine: osm.EngineGenerated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		invariant.Attach(s.Director())
+		if _, err := s.Run(1_000_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(s.ISS.Reported) != 1 || s.ISS.Reported[0] != w.Ref(n) {
+			t.Errorf("%s: checksum %v, want %#x", w.Name, s.ISS.Reported, w.Ref(n))
+		}
+	}
+}
+
+// TestGeneratedProbeMatchesInterpreted drives a kernel under the
+// generated engine and, every cycle, cross-checks GenProgram.Probe
+// against the interpreted Machine.ProbeEdge for every machine and
+// outgoing edge — the probe agreement the invariant checker's
+// scheduler-equivalence pass relies on.
+func TestGeneratedProbeMatchesInterpreted(t *testing.T) {
+	w := workload.ByName("gsm/dec")
+	p, err := w.ARMProgram(w.DefaultN / 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p, Config{Engine: osm.EngineGenerated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Director().Generated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500 && !s.Done(); i++ {
+		if err := s.StepCycle(); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range s.Director().Machines() {
+			for _, e := range m.State().Out {
+				want := m.ProbeEdge(e)
+				got, err := g.Probe(m, e)
+				if err != nil {
+					t.Fatalf("cycle %d: Probe(%s, %s): %v", i, m.Name, e.Name, err)
+				}
+				if got != want {
+					t.Fatalf("cycle %d: machine %s edge %s: generated probe %v, interpreted %v",
+						i, m.Name, e.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
 // TestEngineCycleAgreement pins the engines' timing equivalence at the
 // simulator level: the same kernel takes exactly the same number of
-// cycles under the scan, event and compiled engines.
+// cycles under the scan, event, compiled and generated engines.
 func TestEngineCycleAgreement(t *testing.T) {
 	w := workload.ByName("dsp/fir")
 	n := w.DefaultN / 5
 	cycles := map[osm.Engine]uint64{}
-	for _, eng := range []osm.Engine{osm.EngineScan, osm.EngineEvent, osm.EngineCompiled} {
+	engines := []osm.Engine{osm.EngineScan, osm.EngineEvent, osm.EngineCompiled, osm.EngineGenerated}
+	for _, eng := range engines {
 		p, err := w.ARMProgram(n)
 		if err != nil {
 			t.Fatal(err)
@@ -57,7 +124,9 @@ func TestEngineCycleAgreement(t *testing.T) {
 		}
 		cycles[eng] = st.Cycles
 	}
-	if cycles[osm.EngineCompiled] != cycles[osm.EngineScan] || cycles[osm.EngineEvent] != cycles[osm.EngineScan] {
-		t.Fatalf("engines disagree on cycle count: %v", cycles)
+	for _, eng := range engines[1:] {
+		if cycles[eng] != cycles[osm.EngineScan] {
+			t.Fatalf("engines disagree on cycle count: %v", cycles)
+		}
 	}
 }

@@ -31,8 +31,9 @@ type Config struct {
 	// of SA-110-style early termination (an ablation knob).
 	FixedMul bool
 	// Engine selects the director's execution engine (event-driven
-	// interpreter by default, reference scan, or compiled guard
-	// programs). All three are trace-equivalent; see DESIGN.md §12.
+	// interpreter by default, reference scan, compiled guard programs,
+	// or generated Go edge functions). All four are trace-equivalent;
+	// see DESIGN.md §12-13.
 	Engine osm.Engine
 }
 
@@ -135,11 +136,21 @@ func New(p *arm.Program, cfg Config) (*Sim, error) {
 	}
 	s.decodeCache = make(map[uint32]*decoded)
 	s.redirectUntil = -1
-	s.buildModel(cfg)
+	if err := s.buildModel(cfg); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
-func (s *Sim) buildModel(cfg Config) {
+// whenFetch gates the fetch edge (I -> F): fetch stops for good once
+// the program halts and is suppressed through a redirect's shadow.
+// It is a named method, not a closure, so the generated edge function
+// (edges_gen.go) can call the very same predicate.
+func (s *Sim) whenFetch(m *osm.Machine) bool {
+	return !s.fetchStop && int64(s.director.StepCount()) > s.redirectUntil
+}
+
+func (s *Sim) buildModel(cfg Config) error {
 	d := osm.NewDirector()
 	d.NoRestart = !cfg.Restart
 	d.Engine = cfg.Engine
@@ -153,9 +164,7 @@ func (s *Sim) buildModel(cfg Config) {
 	wSt := osm.NewState("W")
 
 	fetch := iSt.Connect("e0", fSt, osm.Alloc(s.mf, 0))
-	fetch.When = func(m *osm.Machine) bool {
-		return !s.fetchStop && int64(s.director.StepCount()) > s.redirectUntil
-	}
+	fetch.When = s.whenFetch
 	fetch.Action = func(m *osm.Machine) {
 		op, _ := m.Ctx.(*opCtx)
 		if op == nil {
@@ -218,6 +227,19 @@ func (s *Sim) buildModel(cfg Config) {
 		}
 		return err
 	}
+
+	// The generated engine's edge functions (edges_gen.go, emitted by
+	// cmd/osmgen) attach unconditionally: an attachment is derived
+	// state the other engines simply ignore, and it keeps a snapshot
+	// taken under any engine restorable into a generated-engine
+	// director. A resolution error (the generated file drifted from
+	// the model) is fatal only when the generated engine was actually
+	// requested; otherwise it resurfaces on the first Step if the
+	// engine is ever switched.
+	if err := d.AttachGenerated(s.genEdges()); err != nil && cfg.Engine == osm.EngineGenerated {
+		return err
+	}
+	return nil
 }
 
 // decode returns the cached static decoding of the word at pc.
