@@ -1,24 +1,27 @@
 // Osmserve is the simulation service: it hosts concurrent interactive
-// simulation sessions — each a cycle-accurate OSM model pinned behind
-// its own mutex — over an HTTP/JSON API with admission control,
-// idle-session eviction and live observability.
+// simulation sessions — each a cycle-accurate OSM model — behind a
+// bounded run-queue scheduler, over an HTTP/JSON control plane with
+// admission control, idle-session eviction and live observability.
+// An optional binary wire listener (-wire-addr) serves the hot path
+// — step, register/memory peeks, trace pulls — without JSON or
+// per-request connection setup; see internal/wire and cmd/osmwire.
 //
 // Usage:
 //
 //	osmserve -addr :8080
-//	osmserve -addr :8080 -max-sessions 128 -idle-timeout 10m
+//	osmserve -addr :8080 -wire-addr :8081 -max-sessions 128
 //
 // A quick session from the shell:
 //
 //	curl -s localhost:8080/v1/sessions -d '{"target":"strongarm","workload":"gsm/dec","n":60}'
 //	curl -s localhost:8080/v1/sessions/s-000001/step -d '{"cycles":100000}'
-//	curl -s localhost:8080/v1/sessions/s-000001/registers
-//	curl -s -o state.snap localhost:8080/v1/sessions/s-000001/snapshot
+//	osmwire -addr localhost:8081 step s-000001 100000
 //	curl -s localhost:8080/metrics
 //
-// SIGINT/SIGTERM drain gracefully: new sessions are refused, in-flight
-// requests finish (bounded by -drain-timeout), remaining sessions are
-// evicted, then the process exits.
+// SIGINT/SIGTERM drain gracefully: new sessions are refused, the wire
+// listener closes and in-flight frames flush, HTTP requests finish
+// (all bounded by -drain-timeout), remaining sessions are evicted,
+// then the process exits.
 package main
 
 import (
@@ -27,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,12 +43,15 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
+		addr         = flag.String("addr", ":8080", "listen address (HTTP control plane)")
+		wireAddr     = flag.String("wire-addr", "", "listen address for the binary wire protocol (empty disables)")
 		maxSessions  = flag.Int("max-sessions", 64, "admission control: maximum resident sessions")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "evict sessions unused for this long")
 		maxStep      = flag.Uint64("max-step-cycles", 50_000_000, "cap on cycles per step request")
 		stepDeadline = flag.Duration("step-deadline", 10*time.Second, "default per-step-request deadline")
 		traceLimit   = flag.Int("trace-limit", 4096, "default per-session trace retention (events)")
+		workers      = flag.Int("step-workers", 0, "step scheduler worker pool size (0 = GOMAXPROCS)")
+		queuedSteps  = flag.Int("max-queued-steps", 0, "step run-queue bound; beyond it requests get backpressure (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "shutdown: how long in-flight requests may finish")
 		quiet        = flag.Bool("quiet", false, "suppress per-event log lines")
 	)
@@ -56,6 +64,8 @@ func main() {
 		MaxStepCycles:       *maxStep,
 		DefaultStepDeadline: *stepDeadline,
 		TraceLimit:          *traceLimit,
+		Workers:             *workers,
+		MaxQueuedSteps:      *queuedSteps,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -69,11 +79,35 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
 		logger.Printf("listening on %s (max %d sessions, idle timeout %v)", *addr, *maxSessions, *idleTimeout)
 		errCh <- srv.ListenAndServe()
 	}()
+
+	var wsrv *server.WireServer
+	if *wireAddr != "" {
+		// "unix:/path/to.sock" selects a unix-domain socket — the
+		// lowest-latency transport for same-host clients; anything
+		// else is a TCP host:port.
+		network, laddr := "tcp", *wireAddr
+		if path, ok := strings.CutPrefix(*wireAddr, "unix:"); ok {
+			network, laddr = "unix", path
+			os.Remove(path) // a stale socket from a previous run blocks bind
+		}
+		ln, err := net.Listen(network, laddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "osmserve:", err)
+			os.Exit(1)
+		}
+		wsrv = server.NewWireServer(mgr)
+		go func() {
+			logger.Printf("wire protocol on %s", ln.Addr())
+			if err := wsrv.Serve(ln); err != nil {
+				errCh <- fmt.Errorf("wire listener: %w", err)
+			}
+		}()
+	}
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -82,11 +116,19 @@ func main() {
 		logger.Printf("%v: draining (%v for in-flight requests)", sig, *drainTimeout)
 		mgr.Drain() // refuse new sessions while in-flight work completes
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		err := srv.Shutdown(ctx)
+		var derr error
+		if wsrv != nil {
+			// Close the wire listener first: readers stop, in-flight
+			// frames complete and flush before their connections close.
+			derr = wsrv.Shutdown(ctx)
+		}
+		if err := srv.Shutdown(ctx); err != nil && derr == nil {
+			derr = err
+		}
 		cancel()
 		mgr.Close()
-		if err != nil {
-			logger.Printf("shutdown: %v", err)
+		if derr != nil {
+			logger.Printf("shutdown: %v", derr)
 			os.Exit(1)
 		}
 		logger.Printf("drained cleanly")

@@ -1,0 +1,148 @@
+// Osmwire is the shell client for osmserve's binary wire protocol
+// (internal/wire): the hot-path twin of the curl-able HTTP API, used
+// by the CI smoke job and for quick manual pokes. Sessions are still
+// created and managed over HTTP; osmwire drives an existing session.
+//
+// Usage:
+//
+//	osmwire -addr localhost:8081 ping
+//	osmwire -addr localhost:8081 step s-000001 100000
+//	osmwire -addr localhost:8081 regs s-000001
+//	osmwire -addr localhost:8081 mem s-000001 0x8000 64
+//	osmwire -addr localhost:8081 trace s-000001 [since]
+//
+// Output is one line per fact, stable for grepping from scripts.
+// Exit status 0 on success, 1 on any transport or NACK error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: osmwire [-addr host:port] [-timeout d] <command> [args]
+
+commands:
+  ping                    handshake; print the server banner
+  step <session> <cycles> [deadline-ms]
+  regs <session>
+  mem <session> <addr> <len>
+  trace <session> [since]
+`)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8081", "wire listener address")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := wire.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	cl.Timeout = *timeout
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "ping":
+		resp, err := cl.Hello("osmwire")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("server: %s\nmax-payload: %d\n", resp.Server, resp.MaxPayload)
+
+	case "step":
+		if len(rest) < 2 || len(rest) > 3 {
+			usage()
+		}
+		cycles := parseUint(rest[1], "cycles")
+		var deadline time.Duration
+		if len(rest) == 3 {
+			deadline = time.Duration(parseUint(rest[2], "deadline-ms")) * time.Millisecond
+		}
+		resp, err := cl.Step(rest[0], cycles, deadline)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stepped: %d\ncycle: %d\nstate: %s\ndone: %v\n", resp.Stepped, resp.Cycle, resp.State, resp.Done)
+		if resp.DeadlineExceeded {
+			fmt.Println("deadline-exceeded: true")
+		}
+		if resp.HasResult {
+			fmt.Printf("instructions: %d\n", resp.Instrs)
+			for i, v := range resp.Reported {
+				fmt.Printf("reported[%d]: %#x\n", i, v)
+			}
+		}
+
+	case "regs":
+		if len(rest) != 1 {
+			usage()
+		}
+		resp, err := cl.Registers(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cycle: %d\n", resp.Cycle)
+		for _, rg := range resp.Regs {
+			fmt.Printf("%s: %#x\n", rg.Name, rg.Value)
+		}
+
+	case "mem":
+		if len(rest) != 3 {
+			usage()
+		}
+		resp, err := cl.ReadMem(rest[0], uint32(parseUint(rest[1], "addr")), uint32(parseUint(rest[2], "len")))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("addr: %#x\nlen: %d\ndata: %x\n", resp.Addr, len(resp.Data), resp.Data)
+
+	case "trace":
+		if len(rest) < 1 || len(rest) > 2 {
+			usage()
+		}
+		var since uint64
+		if len(rest) == 2 {
+			since = parseUint(rest[1], "since")
+		}
+		resp, err := cl.Trace(rest[0], since)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("total: %d\nchecksum: %016x\n", resp.Total, resp.Checksum)
+		for _, e := range resp.Events {
+			fmt.Printf("%d %s.%s %s->%s\n", e.Step, e.Machine, e.Edge, e.From, e.To)
+		}
+
+	default:
+		usage()
+	}
+}
+
+func parseUint(s, what string) uint64 {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		fatal(fmt.Errorf("invalid %s %q: %v", what, s, err))
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "osmwire:", err)
+	os.Exit(1)
+}

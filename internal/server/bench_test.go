@@ -1,36 +1,145 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/runner"
+	"repro/internal/wire"
 )
 
-// benchSpec is a workload long enough never to finish during a
-// benchmark run.
-func benchSpec() runner.Spec {
-	return runner.Spec{Target: "strongarm", Workload: "gsm/dec", N: 10_000_000}
+// benchSpecs are per-target workloads long enough never to finish
+// during a benchmark run — one per case study.
+var benchSpecs = []runner.Spec{
+	{Target: "strongarm", Workload: "gsm/dec", N: 10_000_000},
+	{Target: "ppc750", Workload: "spec/crc", N: 10_000_000},
 }
 
+func benchSpec() runner.Spec { return benchSpecs[0] }
+
 // BenchmarkHTTPStep measures one step request end to end — HTTP
-// round-trip, session lock, simulation, JSON response — for several
-// chunk sizes. chunk=1 is the per-request overhead floor; large
-// chunks show where simulation dominates.
+// round-trip, scheduler queue, simulation, JSON response — for
+// several chunk sizes on both case studies. chunk=1 is the
+// per-request overhead floor; large chunks show where simulation
+// dominates.
 func BenchmarkHTTPStep(b *testing.B) {
-	for _, chunk := range []uint64{1, 100, 10_000} {
-		b.Run(fmt.Sprintf("cycles=%d", chunk), func(b *testing.B) {
-			_, cl, done := newTestServer(b, Config{IdleTimeout: -1})
-			defer done()
-			info := cl.create(benchSpec())
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cl.step(info.ID, chunk)
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
-		})
+	for _, spec := range benchSpecs {
+		for _, chunk := range []uint64{1, 100, 10_000} {
+			b.Run(fmt.Sprintf("%s/cycles=%d", spec.Target, chunk), func(b *testing.B) {
+				_, cl, done := newTestServer(b, Config{IdleTimeout: -1})
+				defer done()
+				info := cl.create(spec)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cl.step(info.ID, chunk)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
+		}
+	}
+}
+
+// BenchmarkWireStep is BenchmarkHTTPStep's binary-protocol twin: one
+// step request end to end over the wire plane — frame round-trip on a
+// local TCP socket, scheduler queue, simulation, snap-encoded
+// response. The cycles=1 pair is the per-request overhead comparison
+// EXPERIMENTS.md records.
+func BenchmarkWireStep(b *testing.B) {
+	for _, spec := range benchSpecs {
+		for _, chunk := range []uint64{1, 100, 10_000} {
+			b.Run(fmt.Sprintf("%s/cycles=%d", spec.Target, chunk), func(b *testing.B) {
+				_, cl, wc, done := newWireTestServer(b, Config{IdleTimeout: -1})
+				defer done()
+				info := cl.create(spec)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := wc.Step(info.ID, chunk, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
+		}
+	}
+}
+
+// BenchmarkWireStepUnix is BenchmarkWireStep over a unix-domain
+// socket — the lowest-latency local transport, and the configuration
+// EXPERIMENTS.md's overhead table quotes for same-host clients.
+func BenchmarkWireStepUnix(b *testing.B) {
+	for _, spec := range benchSpecs {
+		for _, chunk := range []uint64{1, 100, 10_000} {
+			b.Run(fmt.Sprintf("%s/cycles=%d", spec.Target, chunk), func(b *testing.B) {
+				mgr, _, httpDone := newTestServer(b, Config{IdleTimeout: -1})
+				defer httpDone()
+				ws := NewWireServer(mgr)
+				sock := b.TempDir() + "/wire.sock"
+				ln, err := net.Listen("unix", sock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				go ws.Serve(ln)
+				defer func() {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					ws.Shutdown(ctx)
+					cancel()
+				}()
+				wc, err := wire.Dial("unix:" + sock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer wc.Close()
+				s, err := mgr.Create(spec, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := wc.Step(s.ID, chunk, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSchedStep measures Manager.Step alone — scheduler submit,
+// worker handoff, quantum, completion wakeup — without any protocol
+// round trip, to attribute the protocol benchmarks' per-request cost.
+func BenchmarkSchedStep(b *testing.B) {
+	mgr := NewManager(Config{IdleTimeout: -1})
+	defer mgr.Close()
+	s, err := mgr.Create(benchSpec(), 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Step(s, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEcho measures the wire round trip against the hello
+// handler (no scheduler, no simulation): pure protocol + transport.
+func BenchmarkWireEcho(b *testing.B) {
+	_, _, wc, done := newWireTestServer(b, Config{IdleTimeout: -1})
+	defer done()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wc.Hello("bench"); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -114,7 +114,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // writeAPIError maps manager errors onto HTTP statuses.
 func writeAPIError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrBackpressure):
+	case errors.Is(err, ErrBackpressure), errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):

@@ -81,10 +81,18 @@ type Metrics struct {
 	SnapshotBytesOut atomic.Uint64 // snapshot downloads
 	SnapshotBytesIn  atomic.Uint64 // restore uploads
 	HTTPRequests     atomic.Uint64
+	StepsRejected    atomic.Uint64 // run-queue backpressure refusals
+	StepQuanta       atomic.Uint64 // scheduler quanta executed
+	WireRequests     atomic.Uint64 // binary-protocol requests received
+	WireNacks        atomic.Uint64 // binary-protocol requests refused
+	WireConnections  atomic.Uint64 // binary-protocol connections accepted
 
 	// Live reports the current number of live sessions, read at
 	// scrape time.
 	Live func() int
+	// QueueDepth reports step jobs in flight (queued or running),
+	// read at scrape time.
+	QueueDepth func() int
 
 	StepLatency *Histogram
 }
@@ -131,6 +139,18 @@ func (m *Metrics) Render(w io.Writer) {
 	fmt.Fprintf(w, "osmserve_snapshot_bytes_total{dir=\"upload\"} %d\n", m.SnapshotBytesIn.Load())
 
 	counter("osmserve_http_requests_total", "HTTP requests received.", m.HTTPRequests.Load())
+	counter("osmserve_wire_requests_total", "Binary wire-protocol requests received.", m.WireRequests.Load())
+	counter("osmserve_wire_nacks_total", "Binary wire-protocol requests refused with a NACK.", m.WireNacks.Load())
+	counter("osmserve_wire_connections_total", "Binary wire-protocol connections accepted.", m.WireConnections.Load())
+	counter("osmserve_steps_rejected_total", "Step requests refused by run-queue backpressure.", m.StepsRejected.Load())
+	counter("osmserve_step_quanta_total", "Scheduler quanta executed.", m.StepQuanta.Load())
+
+	depth := 0
+	if m.QueueDepth != nil {
+		depth = m.QueueDepth()
+	}
+	fmt.Fprintf(w, "# HELP osmserve_step_queue_depth Step jobs in flight (queued or running).\n")
+	fmt.Fprintf(w, "# TYPE osmserve_step_queue_depth gauge\nosmserve_step_queue_depth %d\n", depth)
 
 	fmt.Fprintf(w, "# HELP osmserve_step_latency_seconds Step request service latency.\n")
 	fmt.Fprintf(w, "# TYPE osmserve_step_latency_seconds histogram\n")

@@ -12,6 +12,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -60,6 +61,24 @@ type Config struct {
 	TraceLimit int
 	// MaxMemRead caps a single memory-peek request (default 1 MiB).
 	MaxMemRead uint32
+	// Workers sizes the step scheduler's worker pool — the bound on
+	// concurrently executing simulation quanta (default GOMAXPROCS).
+	Workers int
+	// StepQuantum is the cycle slice a worker runs before a step job
+	// returns to the run queue (default 4096). Smaller quanta trade
+	// throughput for fairness under many concurrently stepping
+	// sessions.
+	StepQuantum uint64
+	// MaxQueuedSteps bounds step jobs in flight (queued + running)
+	// across both protocol planes; submissions beyond it are refused
+	// with backpressure — HTTP 429, wire NackBackpressure (default
+	// 1024).
+	MaxQueuedSteps int
+	// Build, if non-nil, replaces runner.New as the session
+	// constructor — the seam scale tests use to host tens of
+	// thousands of scripted sessions without tens of thousands of
+	// simulator RAM images.
+	Build func(runner.Spec) (*runner.Instance, error)
 	// Logf, if non-nil, receives one line per notable event.
 	Logf func(format string, args ...any)
 }
@@ -85,6 +104,18 @@ func (c *Config) fill() {
 	}
 	if c.MaxMemRead == 0 {
 		c.MaxMemRead = 1 << 20
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.StepQuantum == 0 {
+		c.StepQuantum = 4096
+	}
+	if c.MaxQueuedSteps == 0 {
+		c.MaxQueuedSteps = 1024
+	}
+	if c.Build == nil {
+		c.Build = runner.New
 	}
 }
 
@@ -186,12 +217,16 @@ var (
 	// ErrConflict reports an operation invalid in the session's
 	// current state (HTTP 409).
 	ErrConflict = errors.New("operation invalid in this session state")
+	// ErrOverloaded reports a full step run queue (HTTP 429 / wire
+	// NackBackpressure).
+	ErrOverloaded = errors.New("step queue full, retry later")
 )
 
 // Manager owns the bounded session table.
 type Manager struct {
 	cfg     Config
 	Metrics *Metrics
+	sched   *scheduler
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -201,10 +236,12 @@ type Manager struct {
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+	closeOnce   sync.Once
 }
 
-// NewManager returns a manager with an empty session table. Call
-// Start to enable idle eviction and Close to drain.
+// NewManager returns a manager with an empty session table and a
+// running step scheduler. Call Start to enable idle eviction and
+// Close to drain.
 func NewManager(cfg Config) *Manager {
 	cfg.fill()
 	m := &Manager{
@@ -213,6 +250,8 @@ func NewManager(cfg Config) *Manager {
 		sessions: make(map[string]*Session),
 	}
 	m.Metrics.Live = m.LiveCount
+	m.sched = newScheduler(m, cfg.Workers, cfg.MaxQueuedSteps, cfg.StepQuantum)
+	m.Metrics.QueueDepth = m.sched.depth
 	return m
 }
 
@@ -318,9 +357,12 @@ func (m *Manager) Drain() {
 	m.mu.Unlock()
 }
 
-// Close drains, stops the janitor and evicts every remaining session.
+// Close drains, stops the scheduler and janitor, and evicts every
+// remaining session. It is idempotent: drain paths routinely call it
+// both explicitly and from a deferred cleanup.
 func (m *Manager) Close() {
 	m.Drain()
+	m.closeOnce.Do(m.sched.close)
 	if m.janitorStop != nil {
 		close(m.janitorStop)
 		<-m.janitorDone
@@ -364,7 +406,7 @@ func (m *Manager) Create(spec runner.Spec, traceLimit int) (*Session, error) {
 		m.mu.Unlock()
 	}
 
-	inst, err := runner.New(spec)
+	inst, err := m.cfg.Build(spec)
 	if err != nil {
 		release()
 		return nil, err
@@ -440,9 +482,11 @@ type StepResult struct {
 }
 
 // Step advances the session up to n cycles or until the program
-// completes or the deadline passes, whichever is first. It is the
-// only mutating sim operation with unbounded work, so the deadline is
-// rechecked every few thousand cycles.
+// completes or the deadline passes, whichever is first. The request
+// is validated and clamped here, then executed as a run-queue job: a
+// worker steps the model in quanta, interleaving with other sessions'
+// jobs, and this goroutine merely parks on the job's completion. A
+// full run queue refuses the request immediately with ErrOverloaded.
 func (m *Manager) Step(s *Session, n uint64, deadline time.Duration) (StepResult, error) {
 	if n == 0 {
 		return StepResult{}, fmt.Errorf("%w: cycles must be >= 1", ErrConflict)
@@ -457,84 +501,28 @@ func (m *Manager) Step(s *Session, n uint64, deadline time.Duration) (StepResult
 		deadline = m.cfg.MaxStepDeadline
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.stepable(); err != nil {
+	j := &stepJob{
+		s:     s,
+		want:  n,
+		limit: time.Now().Add(deadline),
+		done:  make(chan struct{}),
+	}
+	if err := m.sched.submit(j); err != nil {
 		return StepResult{}, err
 	}
-	s.meta.Lock()
-	s.meta.state = StateRunning
-	s.meta.lastUsed = time.Now()
-	s.meta.Unlock()
-
-	start := time.Now()
-	limit := start.Add(deadline)
-	var res StepResult
-	defer func() {
-		elapsed := time.Since(start)
-		m.Metrics.StepRequests.Add(1)
-		m.Metrics.Cycles.Add(res.Stepped)
-		m.Metrics.StepLatency.Observe(elapsed.Seconds())
-		s.meta.Lock()
-		s.meta.cyclesStepped += res.Stepped
-		s.meta.Unlock()
-	}()
-
-	// The deadline is polled on a geometric ramp — after cycle 1, 2,
-	// 4, 8, ... then every 4096 cycles — so slow models exceed the
-	// deadline by at most one doubling even on small-n requests. The
-	// old fixed modulus (every 4096th cycle, skipping cycle 0) never
-	// fired for n < 4096: a request for a few hundred cycles of a
-	// pathologically slow model could overrun its deadline unboundedly.
-	const deadlineCheck = 4096
-	next := uint64(1)
-	for res.Stepped < n && !s.inst.Done() {
-		if res.Stepped >= next {
-			next = res.Stepped + min(res.Stepped, deadlineCheck)
-			if time.Now().After(limit) {
-				res.DeadlineExceeded = true
-				break
-			}
-		}
-		if err := s.inst.StepCycle(); err != nil {
-			res.Stepped++
-			s.poison(err)
-			res.Cycle = s.inst.Cycle()
-			res.State = StateBroken
-			return res, fmt.Errorf("%w: %v", ErrConflict, err)
-		}
-		res.Stepped++
-	}
-
-	state := StatePaused
-	if s.inst.Done() {
-		state = StateDone
-		r, err := s.inst.Finalize()
-		if err != nil {
-			s.poison(err)
-			res.Cycle = s.inst.Cycle()
-			res.State = StateBroken
-			return res, fmt.Errorf("%w: %v", ErrConflict, err)
-		}
-		res.Result = &r
-		s.meta.Lock()
-		s.meta.result = &r
-		s.meta.Unlock()
-	}
-	s.syncMeta(state)
-	res.Cycle = s.inst.Cycle()
-	res.Done = s.inst.Done()
-	res.State = state
-	return res, nil
+	<-j.done
+	return j.res, j.err
 }
 
 // stepable checks the lifecycle allows simulator mutation. Callers
-// hold s.mu.
+// hold s.mu. StateRunning is steppable: a second request on a busy
+// session queues behind the first (their jobs' quanta interleave),
+// exactly as it used to queue on the session mutex.
 func (s *Session) stepable() error {
 	s.meta.Lock()
 	defer s.meta.Unlock()
 	switch s.meta.state {
-	case StateCreated, StatePaused:
+	case StateCreated, StatePaused, StateRunning:
 		return nil
 	case StateDone:
 		return fmt.Errorf("%w: session is done", ErrConflict)

@@ -1,0 +1,311 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+
+	"context"
+)
+
+// WireServer serves the binary wire protocol (internal/wire) over a
+// listener, sharing the Manager — session table, step scheduler,
+// metrics — with the HTTP control plane. The hot path (step, register
+// and memory peeks, trace pulls) runs here without JSON marshalling
+// or per-request connection setup; everything else (create, list,
+// snapshot, restore, evict) stays on HTTP.
+//
+// Per connection: one reader goroutine parses frames and dispatches
+// each request to its own goroutine, so a long step on one session
+// never blocks a register peek on another multiplexed over the same
+// connection. Responses are serialized through one buffered writer
+// and flushed per response. Errors travel as NACK frames whose codes
+// mirror the HTTP status mapping, so both planes present one
+// backpressure and lifecycle contract.
+type WireServer struct {
+	m *Manager
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	connWG sync.WaitGroup
+}
+
+// NewWireServer returns a wire server over the manager.
+func NewWireServer(m *Manager) *WireServer {
+	return &WireServer{m: m, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener fails or Shutdown
+// closes it. It blocks; run it in its own goroutine.
+func (ws *WireServer) Serve(ln net.Listener) error {
+	ws.mu.Lock()
+	if ws.draining {
+		ws.mu.Unlock()
+		return ErrDraining
+	}
+	ws.ln = ln
+	ws.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			ws.mu.Lock()
+			draining := ws.draining
+			ws.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		ws.mu.Lock()
+		if ws.draining {
+			ws.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		ws.conns[conn] = struct{}{}
+		ws.connWG.Add(1)
+		ws.mu.Unlock()
+		ws.m.Metrics.WireConnections.Add(1)
+		go ws.serveConn(conn)
+	}
+}
+
+// Shutdown drains the wire plane: it closes the listener, stops the
+// connection readers, waits for in-flight requests to complete and
+// their responses to flush, then closes the connections. The context
+// bounds the wait; on expiry remaining connections are torn down
+// immediately.
+func (ws *WireServer) Shutdown(ctx context.Context) error {
+	ws.mu.Lock()
+	ws.draining = true
+	ln := ws.ln
+	conns := make([]net.Conn, 0, len(ws.conns))
+	for c := range ws.conns {
+		conns = append(conns, c)
+	}
+	ws.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// A past read deadline unblocks each reader's pending ReadFrame;
+	// the reader then waits out its handlers, flushes and closes.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		ws.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, c := range conns {
+			c.Close()
+		}
+		return ctx.Err()
+	}
+}
+
+// connWriter serializes response frames from concurrent handlers
+// onto one buffered connection writer, flushing per response.
+type connWriter struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func (cw *connWriter) write(f wire.Frame) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if err := wire.WriteFrame(cw.bw, f); err == nil {
+		cw.bw.Flush()
+	}
+	// A write error means the peer is gone; the reader will observe
+	// the same failure and retire the connection.
+}
+
+func (ws *WireServer) serveConn(conn net.Conn) {
+	defer ws.connWG.Done()
+	cw := &connWriter{bw: bufio.NewWriter(conn)}
+	br := bufio.NewReader(conn)
+	var handlers sync.WaitGroup
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			break
+		}
+		ws.m.Metrics.WireRequests.Add(1)
+		handlers.Add(1)
+		go func(f wire.Frame) {
+			defer handlers.Done()
+			ws.handle(cw, f)
+		}(f)
+	}
+	// Drain contract: every dispatched request completes and its
+	// response frame is flushed before the connection closes.
+	handlers.Wait()
+	cw.mu.Lock()
+	cw.bw.Flush()
+	cw.mu.Unlock()
+	conn.Close()
+	ws.mu.Lock()
+	delete(ws.conns, conn)
+	ws.mu.Unlock()
+}
+
+// nackFor maps manager errors onto NACK codes, mirroring
+// writeAPIError's HTTP status mapping.
+func nackFor(err error) wire.NackCode {
+	switch {
+	case errors.Is(err, ErrBackpressure), errors.Is(err, ErrOverloaded):
+		return wire.NackBackpressure
+	case errors.Is(err, ErrDraining):
+		return wire.NackDraining
+	case errors.Is(err, ErrNotFound):
+		return wire.NackNotFound
+	case errors.Is(err, ErrConflict):
+		return wire.NackConflict
+	default:
+		return wire.NackInternal
+	}
+}
+
+func (ws *WireServer) nack(cw *connWriter, reqID uint32, code wire.NackCode, msg string) {
+	ws.m.Metrics.WireNacks.Add(1)
+	cw.write(wire.Frame{Op: wire.OpNack, ReqID: reqID, Payload: (&wire.Nack{Code: code, Msg: msg}).Encode()})
+}
+
+// handle serves one request frame. Panics are isolated per request,
+// exactly like the HTTP plane: counted, the session (if resolved)
+// poisoned, and answered with an internal NACK.
+func (ws *WireServer) handle(cw *connWriter, f wire.Frame) {
+	var s *Session
+	defer func() {
+		if p := recover(); p != nil {
+			ws.m.Metrics.Panics.Add(1)
+			if s != nil {
+				s.Poison(fmt.Errorf("request panic: %v", p))
+			}
+			ws.nack(cw, f.ReqID, wire.NackInternal, fmt.Sprintf("request panic: %v", p))
+		}
+	}()
+
+	m := ws.m
+	reply := func(payload []byte) {
+		cw.write(wire.Frame{Op: f.Op, ReqID: f.ReqID, Payload: payload})
+	}
+	fail := func(err error) {
+		ws.nack(cw, f.ReqID, nackFor(err), err.Error())
+	}
+	// Resolve the session named by the request, or NACK. The id stays
+	// in s for the panic isolator above.
+	resolve := func(id string) bool {
+		var err error
+		s, err = m.Get(id)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		return true
+	}
+
+	switch f.Op {
+	case wire.OpHello:
+		var req wire.HelloRequest
+		if err := req.Decode(f.Payload); err != nil {
+			ws.nack(cw, f.ReqID, wire.NackBadRequest, err.Error())
+			return
+		}
+		reply((&wire.HelloResponse{Server: "osmserve", MaxPayload: wire.MaxPayload}).Encode())
+
+	case wire.OpStep:
+		var req wire.StepRequest
+		if err := req.Decode(f.Payload); err != nil {
+			ws.nack(cw, f.ReqID, wire.NackBadRequest, err.Error())
+			return
+		}
+		if !resolve(req.Session) {
+			return
+		}
+		res, err := m.Step(s, req.Cycles, time.Duration(req.DeadlineMS)*time.Millisecond)
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp := wire.StepResponse{
+			Stepped:          res.Stepped,
+			Cycle:            res.Cycle,
+			Done:             res.Done,
+			DeadlineExceeded: res.DeadlineExceeded,
+			State:            string(res.State),
+		}
+		if res.Result != nil {
+			resp.HasResult = true
+			resp.Instrs = res.Result.Instrs
+			resp.Reported = res.Result.Reported
+		}
+		reply(resp.Encode())
+
+	case wire.OpRegisters:
+		var req wire.RegistersRequest
+		if err := req.Decode(f.Payload); err != nil {
+			ws.nack(cw, f.ReqID, wire.NackBadRequest, err.Error())
+			return
+		}
+		if !resolve(req.Session) {
+			return
+		}
+		cycle, regs := m.Registers(s)
+		resp := wire.RegistersResponse{Cycle: cycle, Regs: make([]wire.Reg, len(regs))}
+		for i, rg := range regs {
+			resp.Regs[i] = wire.Reg{Name: rg.Name, Value: rg.Value}
+		}
+		reply(resp.Encode())
+
+	case wire.OpMem:
+		var req wire.MemRequest
+		if err := req.Decode(f.Payload); err != nil {
+			ws.nack(cw, f.ReqID, wire.NackBadRequest, err.Error())
+			return
+		}
+		if !resolve(req.Session) {
+			return
+		}
+		data, err := m.ReadMem(s, req.Addr, req.Len)
+		if err != nil {
+			fail(err)
+			return
+		}
+		reply((&wire.MemResponse{Addr: req.Addr, Data: data}).Encode())
+
+	case wire.OpTrace:
+		var req wire.TraceRequest
+		if err := req.Decode(f.Payload); err != nil {
+			ws.nack(cw, f.ReqID, wire.NackBadRequest, err.Error())
+			return
+		}
+		if !resolve(req.Session) {
+			return
+		}
+		evs, total, sum := m.TraceEvents(s, req.Since)
+		resp := wire.TraceResponse{Total: total, Checksum: sum, Events: make([]wire.Event, len(evs))}
+		for i, e := range evs {
+			resp.Events[i] = wire.Event{Step: e.Step, Machine: e.Machine, Edge: e.Edge, From: e.From, To: e.To}
+		}
+		reply(resp.Encode())
+
+	default:
+		// ParseHeader already rejects unknown ops; a request-only op
+		// arriving here (OpNack) is a protocol violation.
+		ws.nack(cw, f.ReqID, wire.NackBadRequest, fmt.Sprintf("op %s is not a request", f.Op))
+	}
+}

@@ -163,6 +163,12 @@ func (r *Reader) fail(format string, args ...any) {
 	}
 }
 
+// Failf sets the reader's sticky error (first failure wins), so
+// callers that perform their own semantic validation — element-count
+// plausibility, per-field caps — poison the stream the same way an
+// out-of-bounds read would.
+func (r *Reader) Failf(format string, args ...any) { r.fail(format, args...) }
+
 func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil

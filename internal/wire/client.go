@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed reports a request issued on (or interrupted by) a closed
+// client.
+var ErrClosed = errors.New("wire: client closed")
+
+// Client drives the binary protocol over one connection. It is safe
+// for concurrent use: requests are stamped with fresh ids, writes are
+// serialized through one buffered writer, and a single reader
+// goroutine routes responses back by id — so many goroutines (or many
+// sessions) can share one connection without head-of-line blocking on
+// the server side.
+type Client struct {
+	conn net.Conn
+
+	// Timeout bounds each request round trip (0 = no timeout).
+	Timeout time.Duration
+
+	wmu sync.Mutex // serializes writes; guards bw
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan Frame
+	err     error // set once the reader loop exits
+	closed  bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a wire listener: a host:port TCP address, or a
+// unix-domain socket path given as "unix:/path/to.sock" (the lowest
+// round-trip latency for same-host clients).
+func Dial(addr string) (*Client, error) {
+	network := "tcp"
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, addr = "unix", path
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn: TCP, unix
+// socket, net.Pipe in tests) and starts the response router.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriter(conn),
+		pending:    make(map[uint32]chan Frame),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// RemoteAddr returns the server address the client is connected to.
+func (c *Client) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+// Close tears the connection down; in-flight requests fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// readLoop routes response frames to their waiting requests. On any
+// read error every pending request fails and the client is dead.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			if c.err == nil {
+				c.err = err
+				if c.closed {
+					c.err = ErrClosed
+				}
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ReqID]
+		if ok {
+			delete(c.pending, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// An unmatched id (request timed out and was abandoned) is
+		// dropped; the frame was already fully consumed.
+	}
+}
+
+// roundTrip sends one request frame and waits for its response.
+func (c *Client) roundTrip(op Op, payload []byte) (Frame, error) {
+	ch := make(chan Frame, 1)
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return Frame{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(c.bw, Frame{Op: op, ReqID: id, Payload: payload})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		return Frame{}, err
+	}
+
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return Frame{}, err
+		}
+		return f, nil
+	case <-timeout:
+		c.abandon(id)
+		return Frame{}, fmt.Errorf("wire: %s request timed out after %v", op, c.Timeout)
+	}
+}
+
+func (c *Client) abandon(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// decodeResponse checks the response op and decodes either the
+// expected message or a Nack.
+func decodeResponse(f Frame, wantOp Op, msg interface{ Decode([]byte) error }) error {
+	switch f.Op {
+	case wantOp:
+		return msg.Decode(f.Payload)
+	case OpNack:
+		var n Nack
+		if err := n.Decode(f.Payload); err != nil {
+			return fmt.Errorf("wire: undecodable nack: %v", err)
+		}
+		return &NackError{Code: n.Code, Msg: n.Msg}
+	default:
+		return fmt.Errorf("wire: response op %s, want %s", f.Op, wantOp)
+	}
+}
+
+// Hello performs the optional handshake and returns the server's
+// response.
+func (c *Client) Hello(client string) (HelloResponse, error) {
+	req := HelloRequest{Client: client}
+	f, err := c.roundTrip(OpHello, req.Encode())
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	var resp HelloResponse
+	err = decodeResponse(f, OpHello, &resp)
+	return resp, err
+}
+
+// Step advances the session up to cycles cycles under the server's
+// deadline policy (deadline 0 = server default).
+func (c *Client) Step(session string, cycles uint64, deadline time.Duration) (StepResponse, error) {
+	req := StepRequest{Session: session, Cycles: cycles, DeadlineMS: uint64(deadline / time.Millisecond)}
+	f, err := c.roundTrip(OpStep, req.Encode())
+	if err != nil {
+		return StepResponse{}, err
+	}
+	var resp StepResponse
+	err = decodeResponse(f, OpStep, &resp)
+	return resp, err
+}
+
+// Registers peeks the session's architectural registers.
+func (c *Client) Registers(session string) (RegistersResponse, error) {
+	req := RegistersRequest{Session: session}
+	f, err := c.roundTrip(OpRegisters, req.Encode())
+	if err != nil {
+		return RegistersResponse{}, err
+	}
+	var resp RegistersResponse
+	err = decodeResponse(f, OpRegisters, &resp)
+	return resp, err
+}
+
+// ReadMem peeks n bytes of simulated memory at addr.
+func (c *Client) ReadMem(session string, addr, n uint32) (MemResponse, error) {
+	req := MemRequest{Session: session, Addr: addr, Len: n}
+	f, err := c.roundTrip(OpMem, req.Encode())
+	if err != nil {
+		return MemResponse{}, err
+	}
+	var resp MemResponse
+	err = decodeResponse(f, OpMem, &resp)
+	return resp, err
+}
+
+// Trace pulls the retained trace window with Step >= since plus the
+// whole-run totals.
+func (c *Client) Trace(session string, since uint64) (TraceResponse, error) {
+	req := TraceRequest{Session: session, Since: since}
+	f, err := c.roundTrip(OpTrace, req.Encode())
+	if err != nil {
+		return TraceResponse{}, err
+	}
+	var resp TraceResponse
+	err = decodeResponse(f, OpTrace, &resp)
+	return resp, err
+}

@@ -1,0 +1,316 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpHello, ReqID: 1, Payload: (&HelloRequest{Client: "test"}).Encode()},
+		{Op: OpStep, ReqID: 0xdeadbeef, Payload: (&StepRequest{Session: "s-000001", Cycles: 500}).Encode()},
+		{Op: OpNack, ReqID: 7, Payload: (&Nack{Code: NackConflict, Msg: "nope"}).Encode()},
+		{Op: OpTrace, ReqID: 9}, // empty payload
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream := buf.Bytes()
+	// Reader-based decode.
+	r := bytes.NewReader(stream)
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+	// Slice-based decode must walk the same stream identically.
+	rest := stream
+	for i, want := range frames {
+		got, n, err := Decode(rest)
+		if err != nil {
+			t.Fatalf("Decode frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("Decode frame %d: got %+v, want %+v", i, got, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d undecoded bytes", len(rest))
+	}
+}
+
+// corrupt returns a valid single-frame stream with one mutation
+// applied.
+func corrupt(t *testing.T, mutate func(b []byte)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Op: OpStep, ReqID: 3, Payload: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	mutate(b)
+	return b
+}
+
+func TestFrameHeaderValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		want   string
+	}{
+		{"bad magic", func(b []byte) { b[0] ^= 0xff }, "magic"},
+		{"bad version", func(b []byte) { b[4] = 99 }, "version"},
+		{"unknown op", func(b []byte) { b[5] = 0x6f }, "unknown op"},
+		{"reserved flags", func(b []byte) { b[6] = 1 }, "flags"},
+		{"oversized length", func(b []byte) {
+			binary.LittleEndian.PutUint32(b[12:16], MaxPayload+1)
+		}, "cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := corrupt(t, tc.mutate)
+			_, err := ReadFrame(bytes.NewReader(b))
+			if err == nil || !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("err = %v, want ErrBadFrame", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err %q does not mention %q", err, tc.want)
+			}
+			if _, _, err := Decode(b); err == nil || !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("Decode err = %v, want ErrBadFrame", err)
+			}
+		})
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	b := corrupt(t, func([]byte) {})
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if _, _, err := Decode(b[:cut]); err == nil || !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("Decode truncation at %d: err = %v", cut, err)
+		}
+	}
+	// Empty stream is a clean EOF (frame boundary), not corruption.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	type codec interface {
+		Encode() []byte
+		Decode([]byte) error
+	}
+	step := StepResponse{
+		Stepped: 100, Cycle: 12345, Done: true, State: "done",
+		HasResult: true, Instrs: 99, Reported: []uint32{0xaa, 0xbb},
+	}
+	regs := RegistersResponse{Cycle: 9, Regs: []Reg{{Name: "r0", Value: 1}, {Name: "nzcv", Value: 0xf0000000}}}
+	trace := TraceResponse{Total: 1e6, Checksum: 0xfeedface, Events: []Event{
+		{Step: 1, Machine: "pipe", Edge: "fetch", From: "idle", To: "busy"},
+	}}
+	pairs := []struct {
+		in, out codec
+	}{
+		{&HelloRequest{Client: "osmwire"}, &HelloRequest{}},
+		{&HelloResponse{Server: "osmserve", MaxPayload: MaxPayload}, &HelloResponse{}},
+		{&StepRequest{Session: "s-000001", Cycles: 1 << 40, DeadlineMS: 250}, &StepRequest{}},
+		{&step, &StepResponse{}},
+		{&RegistersRequest{Session: "s-1"}, &RegistersRequest{}},
+		{&regs, &RegistersResponse{}},
+		{&MemRequest{Session: "s-1", Addr: 0x1000, Len: 64}, &MemRequest{}},
+		{&MemResponse{Addr: 0x1000, Data: []byte{1, 0, 2}}, &MemResponse{}},
+		{&TraceRequest{Session: "s-1", Since: 77}, &TraceRequest{}},
+		{&trace, &TraceResponse{}},
+		{&Nack{Code: NackBackpressure, Msg: "table full"}, &Nack{}},
+	}
+	for _, p := range pairs {
+		b := p.in.Encode()
+		if err := p.out.Decode(b); err != nil {
+			t.Fatalf("%T: decode: %v", p.in, err)
+		}
+		if got, want := p.out.Encode(), b; !bytes.Equal(got, want) {
+			t.Fatalf("%T: re-encode differs:\n got %x\nwant %x", p.in, got, want)
+		}
+	}
+}
+
+func TestMessageDecodeRejectsTrailingGarbage(t *testing.T) {
+	b := append((&StepRequest{Session: "s", Cycles: 1}).Encode(), 0xff)
+	var m StepRequest
+	if err := m.Decode(b); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+}
+
+func TestMessageDecodeBoundsCounts(t *testing.T) {
+	// A registers response claiming 2^31 registers with a tiny payload
+	// must fail without allocating.
+	w := (&RegistersResponse{Cycle: 1}).Encode()
+	binary.LittleEndian.PutUint32(w[8:12], 1<<31-1)
+	var m RegistersResponse
+	if err := m.Decode(w); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("huge count: %v", err)
+	}
+	// Same for trace events.
+	tr := (&TraceResponse{}).Encode()
+	binary.LittleEndian.PutUint32(tr[16:20], 1<<30)
+	var tm TraceResponse
+	if err := tm.Decode(tr); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("huge event count: %v", err)
+	}
+}
+
+// echoServer answers every request with a canned frame per op over a
+// net.Pipe — enough to exercise the client's multiplexing without the
+// real server.
+func echoServer(t *testing.T, conn net.Conn, delay func(op Op) time.Duration) {
+	t.Helper()
+	var wmu sync.Mutex
+	go func() {
+		for {
+			f, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			go func(f Frame) {
+				if delay != nil {
+					time.Sleep(delay(f.Op))
+				}
+				var payload []byte
+				switch f.Op {
+				case OpHello:
+					payload = (&HelloResponse{Server: "echo", MaxPayload: MaxPayload}).Encode()
+				case OpStep:
+					var req StepRequest
+					if err := req.Decode(f.Payload); err != nil {
+						f.Op = OpNack
+						payload = (&Nack{Code: NackBadRequest, Msg: err.Error()}).Encode()
+						break
+					}
+					payload = (&StepResponse{Stepped: req.Cycles, Cycle: req.Cycles, State: "paused"}).Encode()
+				case OpRegisters:
+					payload = (&RegistersResponse{Cycle: 1, Regs: []Reg{{Name: "r0", Value: 42}}}).Encode()
+				default:
+					f.Op = OpNack
+					payload = (&Nack{Code: NackNotFound, Msg: "no such session"}).Encode()
+				}
+				wmu.Lock()
+				err := WriteFrame(conn, Frame{Op: f.Op, ReqID: f.ReqID, Payload: payload})
+				wmu.Unlock()
+				if err != nil {
+					t.Errorf("echo write: %v", err)
+				}
+			}(f)
+		}
+	}()
+}
+
+func TestClientMultiplexing(t *testing.T) {
+	cc, sc := net.Pipe()
+	// Delay step responses so register peeks issued later come back
+	// first: the client must route by request id, not arrival order.
+	echoServer(t, sc, func(op Op) time.Duration {
+		if op == OpStep {
+			return 30 * time.Millisecond
+		}
+		return 0
+	})
+	cl := NewClient(cc)
+	defer cl.Close()
+
+	type stepOut struct {
+		resp StepResponse
+		err  error
+	}
+	stepCh := make(chan stepOut, 1)
+	go func() {
+		resp, err := cl.Step("s-1", 777, 0)
+		stepCh <- stepOut{resp, err}
+	}()
+	// The peek must complete while the step is still pending.
+	regs, err := cl.Registers("s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs.Regs) != 1 || regs.Regs[0].Value != 42 {
+		t.Fatalf("registers: %+v", regs)
+	}
+	out := <-stepCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.resp.Stepped != 777 {
+		t.Fatalf("step response %+v", out.resp)
+	}
+	// A nack decodes into a typed error.
+	_, err = cl.Trace("s-1", 0)
+	var ne *NackError
+	if !errors.As(err, &ne) || ne.Code != NackNotFound {
+		t.Fatalf("trace err = %v, want NackNotFound", err)
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	cc, sc := net.Pipe()
+	// A server that reads but never answers.
+	go func() {
+		for {
+			if _, err := ReadFrame(sc); err != nil {
+				return
+			}
+		}
+	}()
+	cl := NewClient(cc)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cl.Step("s-1", 1, 0)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cl.Close()
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("pending request after Close: %v, want ErrClosed", err)
+	}
+	if _, err := cl.Registers("s-1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("request on closed client: %v, want ErrClosed", err)
+	}
+}
+
+func TestClientTimeout(t *testing.T) {
+	cc, sc := net.Pipe()
+	go func() {
+		for {
+			if _, err := ReadFrame(sc); err != nil {
+				return
+			}
+		}
+	}()
+	cl := NewClient(cc)
+	defer cl.Close()
+	cl.Timeout = 20 * time.Millisecond
+	if _, err := cl.Step("s-1", 1, 0); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("timeout: %v", err)
+	}
+}
