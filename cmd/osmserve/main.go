@@ -38,8 +38,27 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/gate"
 	"repro/internal/server"
 )
+
+// hostport normalizes a listen address into something another process
+// can dial: a bare or wildcard host becomes loopback. Unix-socket
+// addresses ("unix:/path") pass through — they are same-host by
+// nature.
+func hostport(addr string) string {
+	if strings.HasPrefix(addr, "unix:") {
+		return addr
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
 
 func main() {
 	var (
@@ -54,10 +73,21 @@ func main() {
 		queuedSteps  = flag.Int("max-queued-steps", 0, "step run-queue bound; beyond it requests get backpressure (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "shutdown: how long in-flight requests may finish")
 		quiet        = flag.Bool("quiet", false, "suppress per-event log lines")
+		parkDir      = flag.String("park-dir", "", "park idle-evicted sessions as snapshot blobs here (empty discards them)")
+		register     = flag.String("register", "", "osmgate base URL to register with (empty = standalone)")
+		workerID     = flag.String("worker-id", "", "worker id for gateway registration (default: the advertised address)")
+		advertise    = flag.String("advertise", "", "HTTP base URL the gateway should reach this worker at (default derived from -addr)")
+		wireAdvert   = flag.String("wire-advertise", "", "wire address the gateway should reach this worker at (default derived from -wire-addr)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "osmserve: ", log.LstdFlags)
+	if *parkDir != "" {
+		if err := os.MkdirAll(*parkDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "osmserve:", err)
+			os.Exit(1)
+		}
+	}
 	cfg := server.Config{
 		MaxSessions:         *maxSessions,
 		IdleTimeout:         *idleTimeout,
@@ -66,6 +96,7 @@ func main() {
 		TraceLimit:          *traceLimit,
 		Workers:             *workers,
 		MaxQueuedSteps:      *queuedSteps,
+		ParkDir:             *parkDir,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -109,12 +140,55 @@ func main() {
 		}()
 	}
 
+	// Gateway registration: announce this worker to the fabric and keep
+	// retrying until it lands (the gateway may start after the workers).
+	id := *workerID
+	if *register != "" {
+		gw := strings.TrimSuffix(*register, "/")
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + hostport(*addr)
+		}
+		wadv := *wireAdvert
+		if wadv == "" && *wireAddr != "" {
+			wadv = hostport(*wireAddr)
+		}
+		if id == "" {
+			id = adv
+		}
+		go func() {
+			for {
+				err := gate.RegisterWorker(gw, id, adv, wadv, 5*time.Second)
+				if err == nil {
+					logger.Printf("registered with gateway %s as %s (%s, wire %q)", gw, id, adv, wadv)
+					return
+				}
+				logger.Printf("gateway registration: %v (retrying)", err)
+				time.Sleep(2 * time.Second)
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
 		logger.Printf("%v: draining (%v for in-flight requests)", sig, *drainTimeout)
 		mgr.Drain() // refuse new sessions while in-flight work completes
+		if *register != "" {
+			// Hand the resident sessions to the rest of the fleet before
+			// tearing anything down: the gateway migrates each one out
+			// (snapshot here, restore elsewhere) and returns when no
+			// session depends on this worker anymore. Our HTTP plane is
+			// still fully up — drain only refuses new sessions — so the
+			// snapshot/delete legs land normally.
+			gw := strings.TrimSuffix(*register, "/")
+			if err := gate.NotifyDrain(gw, id, *drainTimeout); err != nil {
+				logger.Printf("gateway migrate-out: %v (continuing shutdown)", err)
+			} else {
+				logger.Printf("gateway migrated sessions out")
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		var derr error
 		if wsrv != nil {

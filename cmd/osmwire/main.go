@@ -26,7 +26,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: osmwire [-addr host:port] [-timeout d] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: osmwire [-addr host:port] [-via host:port] [-timeout d] <command> [args]
 
 commands:
   ping                    handshake; print the server banner
@@ -34,13 +34,17 @@ commands:
   regs <session>
   mem <session> <addr> <len>
   trace <session> [since]
+
+-via routes through an osmgate gateway's wire listener instead of a
+worker directly; the gateway resolves the session to its worker.
 `)
 	os.Exit(2)
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:8081", "wire listener address")
+		addr    = flag.String("addr", "localhost:8081", "wire listener address (a worker)")
+		via     = flag.String("via", "", "osmgate wire listener address; overrides -addr")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
 	flag.Usage = usage
@@ -50,7 +54,11 @@ func main() {
 		usage()
 	}
 
-	cl, err := wire.Dial(*addr)
+	dial := *addr
+	if *via != "" {
+		dial = *via
+	}
+	cl, err := wire.Dial(dial)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,48 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RegisterWorker announces a worker to a gateway: POST {gateway}/v1/workers.
+// Called by osmserve at startup (and safe to repeat — re-registration
+// refreshes the record).
+func RegisterWorker(gatewayURL, id, addr, wireAddr string, timeout time.Duration) error {
+	body, _ := json.Marshal(map[string]string{"id": id, "addr": addr, "wire_addr": wireAddr})
+	return postJSON(gatewayURL+"/v1/workers", body, timeout)
+}
+
+// NotifyDrain asks the gateway to migrate the worker's sessions onto
+// the rest of the fleet; it returns once the migrate-out has finished,
+// so a worker calling this from its SIGTERM path can shut down
+// immediately afterwards without losing a session. The timeout bounds
+// the whole drain (snapshot+restore per session).
+func NotifyDrain(gatewayURL, id string, timeout time.Duration) error {
+	body, _ := json.Marshal(map[string]string{"worker": id})
+	return postJSON(gatewayURL+"/v1/workers/drain", body, timeout)
+}
+
+func postJSON(url string, body []byte, timeout time.Duration) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	ctx, cancel := timeoutCtx(timeout)
+	defer cancel()
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gate: %s: status %d: %s", url, resp.StatusCode, trimBody(respBody))
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package gate
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("g-session-%06d", i)
+	}
+	return keys
+}
+
+func TestRingLookupStableAndBalanced(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"w1", "w2", "w3", "w4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(10_000)
+	counts := map[string]int{}
+	owner := map[string]string{}
+	for _, k := range keys {
+		o := r.Lookup(k)
+		if !r.Has(o) {
+			t.Fatalf("key %s routed to non-member %q", k, o)
+		}
+		owner[k] = o
+		counts[o]++
+	}
+	// Lookup is deterministic.
+	for _, k := range keys {
+		if got := r.Lookup(k); got != owner[k] {
+			t.Fatalf("key %s: second lookup %s, first %s", k, got, owner[k])
+		}
+	}
+	// With 64 virtual nodes each of 4 members should hold a sane share
+	// (perfect balance would be 2500; allow a wide band).
+	for _, m := range members {
+		if counts[m] < 1000 || counts[m] > 4500 {
+			t.Fatalf("member %s owns %d of %d keys; distribution %v", m, counts[m], len(keys), counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the property the fabric depends on:
+// removing a member moves only that member's keys, and re-adding it
+// restores the original placement exactly.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"w1", "w2", "w3", "w4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := ringKeys(10_000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+
+	r.Remove("w2")
+	moved := 0
+	for _, k := range keys {
+		after := r.Lookup(k)
+		if after == "w2" {
+			t.Fatalf("key %s still routes to removed member", k)
+		}
+		if before[k] != "w2" && after != before[k] {
+			t.Fatalf("key %s moved %s->%s although its owner never left", k, before[k], after)
+		}
+		if before[k] == "w2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; distribution test should have caught this")
+	}
+
+	r.Add("w2")
+	for _, k := range keys {
+		if got := r.Lookup(k); got != before[k] {
+			t.Fatalf("key %s: placement %s after rejoin, originally %s", k, got, before[k])
+		}
+	}
+}
+
+func TestRingLookupN(t *testing.T) {
+	r := NewRing(16)
+	if got := r.LookupN("anything", 3); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	order := r.LookupN("some-key", 5)
+	if len(order) != 3 {
+		t.Fatalf("LookupN returned %d members, want all 3: %v", len(order), order)
+	}
+	seen := map[string]bool{}
+	for _, m := range order {
+		if seen[m] {
+			t.Fatalf("duplicate member in preference order %v", order)
+		}
+		seen[m] = true
+	}
+	if order[0] != r.Lookup("some-key") {
+		t.Fatalf("preference order %v does not start with the owner %s", order, r.Lookup("some-key"))
+	}
+	// Failover consistency: removing the owner promotes the runner-up.
+	r.Remove(order[0])
+	if got := r.Lookup("some-key"); got != order[1] {
+		t.Fatalf("after owner removal key routes to %s, want runner-up %s", got, order[1])
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/snap"
 )
 
 // Recorder is a Tracer that accumulates a transition history and
@@ -192,6 +194,121 @@ func (r *Recorder) Report(w io.Writer) {
 		fmt.Fprintf(w, "  state %-11s %6d entries (%.2f/step)\n",
 			s, r.stateEnter[s], r.Utilization(s))
 	}
+}
+
+// recorderVersion versions the SaveState/LoadState encoding.
+const recorderVersion = 1
+
+// SaveState serializes the recorder — whole-run aggregates (total,
+// checksum, step span, per-edge and per-state counts) plus the
+// retained event window in commit order — so a session's trace
+// context can travel with its snapshot across a live migration. The
+// encoding is deterministic: map keys are sorted, the ring is
+// normalized.
+func (r *Recorder) SaveState(w *snap.Writer) {
+	w.Version(recorderVersion)
+	w.U64(r.total)
+	w.U64(r.sum)
+	w.U64(r.firstStep)
+	w.U64(r.lastStep)
+	w.Bool(r.any)
+	evs := r.Events()
+	w.U32(uint32(len(evs)))
+	for i := range evs {
+		ev := &evs[i]
+		w.U64(ev.Step)
+		w.String(ev.Machine)
+		w.String(ev.Edge)
+		w.String(ev.From)
+		w.String(ev.To)
+	}
+	saveCountMap(w, r.edgeCount)
+	saveCountMap(w, r.stateEnter)
+}
+
+// LoadState replaces the recording with a saved one. The retained
+// window is clamped to the recorder's own Limit (keeping the most
+// recent events) so a snapshot taken under a larger retention restores
+// cleanly into a smaller one; aggregates are retention-independent and
+// restore exactly.
+func (r *Recorder) LoadState(rd *snap.Reader) error {
+	rd.Version("recorder", recorderVersion)
+	total := rd.U64()
+	sum := rd.U64()
+	first := rd.U64()
+	last := rd.U64()
+	any := rd.Bool()
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	// An event encodes to at least 8 + 4×4 bytes; an implausible count
+	// fails before allocation, like every untrusted decoder here.
+	if n > rd.Remaining()/24 {
+		rd.Failf("recorder: implausible event count %d (%d bytes remaining)", n, rd.Remaining())
+		return rd.Err()
+	}
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, Event{
+			Step:    rd.U64(),
+			Machine: rd.String(),
+			Edge:    rd.String(),
+			From:    rd.String(),
+			To:      rd.String(),
+		})
+	}
+	edgeCount, err := loadCountMap(rd)
+	if err != nil {
+		return err
+	}
+	stateEnter, err := loadCountMap(rd)
+	if err != nil {
+		return err
+	}
+	if r.Limit > 0 && len(evs) > r.Limit {
+		evs = evs[len(evs)-r.Limit:]
+	}
+	r.events = append(r.events[:0], evs...)
+	r.start = 0
+	r.total = total
+	r.sum = sum
+	r.firstStep = first
+	r.lastStep = last
+	r.any = any
+	r.edgeCount = edgeCount
+	r.stateEnter = stateEnter
+	return nil
+}
+
+func saveCountMap(w *snap.Writer, m map[string]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.U64(m[k])
+	}
+}
+
+func loadCountMap(rd *snap.Reader) (map[string]uint64, error) {
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return nil, rd.Err()
+	}
+	if n > rd.Remaining()/12 {
+		rd.Failf("recorder: implausible count-map size %d (%d bytes remaining)", n, rd.Remaining())
+		return nil, rd.Err()
+	}
+	m := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		k := rd.String()
+		m[k] = rd.U64()
+	}
+	return m, rd.Err()
 }
 
 // Reset clears the recording.

@@ -52,6 +52,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/restore", m.withSession(m.handleRestore))
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", m.withSession(m.handleTrace))
 	mux.HandleFunc("GET /v1/sessions/{id}/invariants", m.withSession(m.handleInvariants))
+	mux.HandleFunc("POST /v1/admin/drain", m.handleAdminDrain)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -145,6 +146,10 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // session options. The image field rides as standard JSON base64.
 type CreateRequest struct {
 	runner.Spec
+	// ID, when set, names the session instead of letting the server
+	// assign an id — how the gateway places sessions under globally
+	// routable ids. A duplicate or invalid id is a 409.
+	ID string `json:"id,omitempty"`
 	// TraceLimit overrides the recorder retention (nil = server
 	// default, explicit 0 = unlimited).
 	TraceLimit *int `json:"trace_limit,omitempty"`
@@ -166,7 +171,7 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if req.TraceLimit != nil {
 		traceLimit = *req.TraceLimit
 	}
-	s, err := m.Create(req.Spec, traceLimit)
+	s, err := m.CreateWithID(req.ID, req.Spec, traceLimit)
 	if err != nil {
 		if errors.Is(err, runner.ErrNotSteppable) {
 			writeError(w, http.StatusBadRequest, err.Error())
@@ -176,6 +181,17 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, m.Info(s))
+}
+
+// handleAdminDrain stops session admissions and reports the resident
+// session ids, so a gateway can drive migrate-out before this worker
+// shuts down. Existing sessions keep serving.
+func (m *Manager) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	ids := m.AdminDrain()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "draining",
+		"sessions": ids,
+	})
 }
 
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {

@@ -86,6 +86,7 @@ type Metrics struct {
 	WireRequests     atomic.Uint64 // binary-protocol requests received
 	WireNacks        atomic.Uint64 // binary-protocol requests refused
 	WireConnections  atomic.Uint64 // binary-protocol connections accepted
+	SessionsParked   atomic.Uint64 // idle evictions parked as snapshots
 
 	// Live reports the current number of live sessions, read at
 	// scrape time.
@@ -143,6 +144,7 @@ func (m *Metrics) Render(w io.Writer) {
 	counter("osmserve_wire_nacks_total", "Binary wire-protocol requests refused with a NACK.", m.WireNacks.Load())
 	counter("osmserve_wire_connections_total", "Binary wire-protocol connections accepted.", m.WireConnections.Load())
 	counter("osmserve_steps_rejected_total", "Step requests refused by run-queue backpressure.", m.StepsRejected.Load())
+	counter("osmserve_sessions_parked_total", "Idle-evicted sessions parked as snapshot blobs.", m.SessionsParked.Load())
 	counter("osmserve_step_quanta_total", "Scheduler quanta executed.", m.StepQuanta.Load())
 
 	depth := 0

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Session parking: instead of discarding an idle-evicted session's
+// state, the janitor writes its final snapshot to Config.ParkDir so a
+// gateway can resurrect the session later on any worker. Two files
+// per parked session:
+//
+//	<checksum>.snap   the session snapshot, content-named by the
+//	                  FNV-1a digest of its bytes — identical states
+//	                  dedup to one blob across sessions
+//	<id>.park         JSON metadata binding the session id to its
+//	                  blob, target and originating spec
+//
+// Both are written atomically (temp file + rename) so a concurrent
+// reader never observes a torn park. Blobs are never deleted here:
+// they are content-addressed, so another park may reference the same
+// bytes; metadata files are removed when a park is consumed.
+
+// ParkMeta is the parked-session metadata record.
+type ParkMeta struct {
+	ID string `json:"id"`
+	// Checksum is the 64-bit FNV-1a digest of the snapshot blob,
+	// formatted %016x — also the blob's filename stem.
+	Checksum string `json:"checksum"`
+	Target   string `json:"target"`
+	Cycle    uint64 `json:"cycle"`
+	// TraceLimit is the session's recorder retention, so resurrection
+	// recreates the session with the same trace window.
+	TraceLimit int         `json:"trace_limit"`
+	Spec       runner.Spec `json:"spec"`
+	ParkedAt   time.Time   `json:"parked_at"`
+}
+
+// ParkMetaPath returns the metadata path for a session id.
+func ParkMetaPath(dir, id string) string { return filepath.Join(dir, id+".park") }
+
+// ParkBlobPath returns the blob path for a checksum.
+func ParkBlobPath(dir, checksum string) string { return filepath.Join(dir, checksum+".snap") }
+
+// BlobChecksum returns the content name of a snapshot blob: its
+// 64-bit FNV-1a digest formatted %016x.
+func BlobChecksum(blob []byte) string {
+	h := fnv.New64a()
+	h.Write(blob)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// LoadPark reads a parked session's metadata and blob, verifying the
+// blob against its content name. A missing park returns os.ErrNotExist
+// (wrapped), so callers can distinguish "never parked" from damage.
+func LoadPark(dir, id string) (ParkMeta, []byte, error) {
+	raw, err := os.ReadFile(ParkMetaPath(dir, id))
+	if err != nil {
+		return ParkMeta{}, nil, err
+	}
+	var meta ParkMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return ParkMeta{}, nil, fmt.Errorf("park metadata for %s: %w", id, err)
+	}
+	if meta.ID != id {
+		return ParkMeta{}, nil, fmt.Errorf("park metadata for %s names session %s", id, meta.ID)
+	}
+	blob, err := os.ReadFile(ParkBlobPath(dir, meta.Checksum))
+	if err != nil {
+		return ParkMeta{}, nil, fmt.Errorf("park blob for %s: %w", id, err)
+	}
+	if got := BlobChecksum(blob); got != meta.Checksum {
+		return ParkMeta{}, nil, fmt.Errorf("park blob for %s: checksum %s, content named %s", id, got, meta.Checksum)
+	}
+	return meta, blob, nil
+}
+
+// ConsumePark removes a parked session's metadata after resurrection.
+// The content-addressed blob stays (another park may share it).
+func ConsumePark(dir, id string) error {
+	return os.Remove(ParkMetaPath(dir, id))
+}
+
+// writeAtomic writes data at path via a temp file + rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".park-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// park writes the evicted session's final snapshot into ParkDir. The
+// session has already been removed from the table, so no new requests
+// can reach it; taking s.mu waits out any quantum still running.
+func (m *Manager) park(s *Session) error {
+	s.mu.Lock()
+	data, cycle, err := m.snapshotLocked(s)
+	traceLimit := s.rec.Limit
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sum := BlobChecksum(data)
+	blobPath := ParkBlobPath(m.cfg.ParkDir, sum)
+	if _, err := os.Stat(blobPath); err != nil {
+		// First park of this content; otherwise the blob dedups.
+		if err := writeAtomic(blobPath, data); err != nil {
+			return err
+		}
+	}
+	meta := ParkMeta{
+		ID:         s.ID,
+		Checksum:   sum,
+		Target:     s.Spec.Target,
+		Cycle:      cycle,
+		TraceLimit: traceLimit,
+		Spec:       s.Spec,
+		ParkedAt:   time.Now().UTC(),
+	}
+	raw, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(ParkMetaPath(m.cfg.ParkDir, s.ID), raw); err != nil {
+		return err
+	}
+	m.Metrics.SessionsParked.Add(1)
+	m.logf("session %s: parked at cycle %d (%s, %d bytes)", s.ID, cycle, sum, len(data))
+	return nil
+}

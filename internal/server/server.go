@@ -23,6 +23,9 @@ import (
 	"repro/internal/snap"
 )
 
+// MaxSessionIDLen bounds a client-supplied session id.
+const MaxSessionIDLen = 64
+
 // State is a session lifecycle state.
 type State string
 
@@ -74,6 +77,13 @@ type Config struct {
 	// with backpressure — HTTP 429, wire NackBackpressure (default
 	// 1024).
 	MaxQueuedSteps int
+	// ParkDir, when set, makes the idle-eviction janitor park a final
+	// snapshot of each session it evicts instead of discarding the
+	// state: the blob lands in this directory content-named by its
+	// FNV-1a checksum, next to a per-session metadata file, so a
+	// gateway (cmd/osmgate) can resurrect the session later on any
+	// worker.
+	ParkDir string
 	// Build, if non-nil, replaces runner.New as the session
 	// constructor — the seam scale tests use to host tens of
 	// thousands of scripted sessions without tens of thousands of
@@ -319,6 +329,11 @@ func (m *Manager) evictIdle() {
 	for _, s := range stale {
 		if m.remove(s.ID, cutoff) {
 			m.Metrics.EvictedIdle.Add(1)
+			if m.cfg.ParkDir != "" {
+				if err := m.park(s); err != nil {
+					m.logf("session %s: park failed, state discarded: %v", s.ID, err)
+				}
+			}
 			m.logf("session %s: evicted idle", s.ID)
 		}
 	}
@@ -381,14 +396,50 @@ func (m *Manager) Close() {
 	}
 }
 
-// Create admits and builds a new session. The admission slot is
-// reserved before the (comparatively slow) simulator construction so
-// concurrent creates cannot overshoot MaxSessions.
+// Create admits and builds a new session with a server-assigned id.
 func (m *Manager) Create(spec runner.Spec, traceLimit int) (*Session, error) {
+	return m.CreateWithID("", spec, traceLimit)
+}
+
+// ValidSessionID reports whether a client-supplied session id is
+// acceptable: non-empty, bounded, and drawn from the URL- and
+// filename-safe alphabet the gateway mints from.
+func ValidSessionID(id string) bool {
+	if id == "" || len(id) > MaxSessionIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CreateWithID admits and builds a new session. An empty id selects a
+// server-assigned one; a non-empty id is the caller's (the gateway
+// places sessions under globally-routable ids this way) and must be
+// valid and unused. The admission slot is reserved before the
+// (comparatively slow) simulator construction so concurrent creates
+// cannot overshoot MaxSessions.
+func (m *Manager) CreateWithID(id string, spec runner.Spec, traceLimit int) (*Session, error) {
+	if id != "" && !ValidSessionID(id) {
+		return nil, fmt.Errorf("%w: invalid session id %q", ErrConflict, id)
+	}
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if id != "" {
+		if _, dup := m.sessions[id]; dup {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("%w: session %s already exists", ErrConflict, id)
+		}
 	}
 	if len(m.sessions)+m.reserved >= m.cfg.MaxSessions {
 		m.mu.Unlock()
@@ -396,8 +447,10 @@ func (m *Manager) Create(spec runner.Spec, traceLimit int) (*Session, error) {
 		return nil, ErrBackpressure
 	}
 	m.reserved++
-	m.nextID++
-	id := fmt.Sprintf("s-%06d", m.nextID)
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("s-%06d", m.nextID)
+	}
 	m.mu.Unlock()
 
 	release := func() {
@@ -426,6 +479,12 @@ func (m *Manager) Create(spec runner.Spec, traceLimit int) (*Session, error) {
 	if m.draining {
 		m.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if _, dup := m.sessions[id]; dup {
+		// Two concurrent creates raced on the same caller-supplied id
+		// and both reserved a slot; the loser backs out.
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: session %s already exists", ErrConflict, id)
 	}
 	m.sessions[id] = s
 	m.mu.Unlock()
@@ -595,10 +654,17 @@ func (s *Session) touch() {
 
 // The session-snapshot wire format: the internal/snap stream the
 // simulators produce, wrapped with a header binding it to the target
-// so a snapshot cannot be restored into a mismatched model.
+// so a snapshot cannot be restored into a mismatched model. Version 2
+// appends the session's Recorder state (whole-run trace totals,
+// checksum and retained window), so a session migrated between
+// workers — or parked and resurrected — keeps its full-run trace
+// checksum, not just the tail after the hop. Version-1 blobs still
+// restore (the trace restarts, as it always did).
 const (
-	sessHeader  = "osmserve-session"
-	sessVersion = 1
+	sessHeader     = "osmserve-session"
+	sessVersion    = 2
+	sessVersionV1  = 1
+	sessFlagTracer = 1 // v2: recorder state present
 )
 
 // Snapshot encodes the session's full simulation state in the
@@ -606,6 +672,17 @@ const (
 func (m *Manager) Snapshot(s *Session) ([]byte, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	data, cycle, err := m.snapshotLocked(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.touch()
+	m.Metrics.SnapshotBytesOut.Add(uint64(len(data)))
+	return data, cycle, nil
+}
+
+// snapshotLocked encodes the session snapshot. Callers hold s.mu.
+func (m *Manager) snapshotLocked(s *Session) ([]byte, uint64, error) {
 	blob, err := s.inst.Snapshot()
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrConflict, err)
@@ -618,23 +695,35 @@ func (m *Manager) Snapshot(s *Session) ([]byte, uint64, error) {
 	w.String(s.Spec.Target)
 	w.U64(cycle)
 	w.Bytes32(blob)
-	s.touch()
-	m.Metrics.SnapshotBytesOut.Add(uint64(w.Len()))
+	w.U8(sessFlagTracer)
+	w.Blob(s.rec.SaveState)
 	return w.Bytes(), cycle, nil
 }
 
 // Restore replaces the session's simulation state from an uploaded
 // snapshot. The session returns to the paused state (or effectively
-// done, discovered on the next step) and its trace restarts.
+// done, discovered on the next step). A v2 snapshot carries the
+// originating session's trace state and restores it — migration does
+// not reset the whole-run checksum; a v1 snapshot restarts the trace.
 func (m *Manager) Restore(s *Session, data []byte) (uint64, error) {
 	r := snap.NewReader(data)
 	if r.U32() != snap.Magic || r.String() != sessHeader {
 		return 0, fmt.Errorf("%w: not an osmserve session snapshot", ErrConflict)
 	}
-	r.Version(sessHeader, sessVersion)
+	version := r.U16()
+	if version != sessVersion && version != sessVersionV1 {
+		return 0, fmt.Errorf("%w: session snapshot version %d, this build reads %d and %d",
+			ErrConflict, version, sessVersionV1, sessVersion)
+	}
 	target := r.String()
 	cycle := r.U64()
 	blob := r.Bytes32()
+	var tracer *snap.Reader
+	if version >= 2 {
+		if flags := r.U8(); flags&sessFlagTracer != 0 {
+			tracer = r.Blob()
+		}
+	}
 	if err := r.Err(); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrConflict, err)
 	}
@@ -657,6 +746,15 @@ func (m *Manager) Restore(s *Session, data []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: %v", ErrConflict, err)
 	}
 	s.rec.Reset()
+	if tracer != nil {
+		if err := s.rec.LoadState(tracer); err != nil {
+			// The simulator state is already restored and consistent;
+			// only the trace continuity is lost. Start a fresh trace
+			// rather than failing the whole restore.
+			s.rec.Reset()
+			m.logf("session %s: snapshot trace state unreadable, trace restarted: %v", s.ID, err)
+		}
+	}
 	s.meta.Lock()
 	s.meta.result = nil
 	s.meta.errMsg = ""
@@ -665,6 +763,23 @@ func (m *Manager) Restore(s *Session, data []byte) (uint64, error) {
 	m.Metrics.SnapshotBytesIn.Add(uint64(len(data)))
 	m.logf("session %s: restored at cycle %d", s.ID, cycle)
 	return s.inst.Cycle(), nil
+}
+
+// AdminDrain stops admitting sessions and reports the ids still
+// resident — the handle a gateway uses to drive migrate-out before a
+// worker shuts down. Existing sessions keep serving (step, snapshot,
+// evict) so their state can be copied off.
+func (m *Manager) AdminDrain() []string {
+	m.mu.Lock()
+	m.draining = true
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	m.logf("admin drain: admissions stopped, %d sessions resident", len(ids))
+	return ids
 }
 
 // TraceEvents returns the retained trace events with Step >= since

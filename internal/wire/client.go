@@ -178,6 +178,17 @@ func (c *Client) abandon(id uint32) {
 	c.mu.Unlock()
 }
 
+// RoundTrip sends one raw request frame and returns the raw response
+// frame — which may be an OpNack — without decoding the payload. This
+// is the forwarding surface: a gateway proxies a client's frame to a
+// worker by op and payload alone, stamps its own request id for the
+// worker hop, and rewrites the response's id back to the client's
+// before relaying, so NACKs (including backpressure) cross the hop
+// verbatim.
+func (c *Client) RoundTrip(op Op, payload []byte) (Frame, error) {
+	return c.roundTrip(op, payload)
+}
+
 // decodeResponse checks the response op and decodes either the
 // expected message or a Nack.
 func decodeResponse(f Frame, wantOp Op, msg interface{ Decode([]byte) error }) error {
