@@ -6,6 +6,7 @@
 package batch
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/sim/ppc750"
 	"repro/internal/sim/strongarm"
 	"repro/internal/snap"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -130,6 +132,11 @@ type Runner struct {
 	Interrupt <-chan struct{}
 	// Log, if non-nil, receives per-job progress lines.
 	Log io.Writer
+
+	// store caches the CheckpointDir chunk store across jobs.
+	storeOnce sync.Once
+	store     *store.Store
+	storeErr  error
 }
 
 // interrupted reports whether the interrupt channel has been closed.
@@ -264,6 +271,7 @@ dispatch:
 	}
 	close(idxCh)
 	wg.Wait()
+	r.gcCheckpoints()
 	return Manifest{Workers: workers, Results: results}
 }
 
@@ -380,20 +388,86 @@ func (r *Runner) runJob(j Job) (res Result) {
 	return res
 }
 
-// ---- checkpoint files ----
+// ---- checkpoint records ----
 
 const (
 	ckptHeader  = "ckpt"
 	ckptVersion = 1
 )
 
+// checkpointGCGrace spares store files younger than this from the
+// end-of-batch sweep, so two osmbatch processes sharing a checkpoint
+// directory cannot reclaim each other's half-written checkpoints.
+const checkpointGCGrace = time.Minute
+
+// Checkpoint is a decoded checkpoint record: the identity of the job
+// it was written for, the cycle it captures, and the simulator
+// snapshot blob.
+type Checkpoint struct {
+	Job   Job
+	Cycle uint64
+	Blob  []byte
+}
+
+// IsCheckpoint reports whether data starts like an encoded batch
+// checkpoint record.
+func IsCheckpoint(data []byte) bool {
+	rd := snap.NewReader(data)
+	return rd.U32() == snap.Magic && rd.String() == ckptHeader && rd.Err() == nil
+}
+
+// EncodeCheckpoint wraps a simulator snapshot with the job identity so
+// a renamed or edited job set cannot resume from a mismatched record.
+func EncodeCheckpoint(j Job, cycle uint64, blob []byte) ([]byte, error) {
+	w := snap.NewWriter()
+	w.U32(snap.Magic)
+	w.String(ckptHeader)
+	w.Version(ckptVersion)
+	writeJobIdentity(w, j)
+	w.U64(cycle)
+	w.Bytes32(blob)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("batch: encode checkpoint: %w", err)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeCheckpoint parses an encoded checkpoint record. The returned
+// Job carries identity fields only (see jobIdentity).
+func DecodeCheckpoint(data []byte) (Checkpoint, error) {
+	rd := snap.NewReader(data)
+	if rd.U32() != snap.Magic || rd.String() != ckptHeader {
+		return Checkpoint{}, fmt.Errorf("batch: not a checkpoint record")
+	}
+	rd.Version(ckptHeader, ckptVersion)
+	var c Checkpoint
+	readJobIdentity(rd, &c.Job)
+	c.Cycle = rd.U64()
+	c.Blob = rd.Bytes32()
+	if err := rd.Err(); err != nil {
+		return Checkpoint{}, fmt.Errorf("batch: checkpoint record: %w", err)
+	}
+	return c, nil
+}
+
+// checkpointStore lazily opens the chunk store rooted at
+// CheckpointDir. Checkpoints live in the store under the job name
+// (run = job name, cycle = checkpoint cycle), chunked and
+// deduplicated against earlier checkpoints of the same job.
+func (r *Runner) checkpointStore() (*store.Store, error) {
+	r.storeOnce.Do(func() {
+		r.store, r.storeErr = store.Open(r.CheckpointDir, store.Options{})
+	})
+	return r.store, r.storeErr
+}
+
+// checkpointPath returns the legacy whole-file checkpoint path;
+// current builds write through the store instead.
 func (r *Runner) checkpointPath(j Job) string {
 	return filepath.Join(r.CheckpointDir, j.Name+".ckpt")
 }
 
-// writeCheckpoint atomically persists the job's state: the snapshot
-// is wrapped with the job identity so a renamed or edited job set
-// cannot resume from a mismatched file.
+// writeCheckpoint persists the job's state into the checkpoint store.
 func (r *Runner) writeCheckpoint(j Job, s batchSim) error {
 	if r.CheckpointDir == "" {
 		return fmt.Errorf("batch: CheckpointEvery set without CheckpointDir")
@@ -402,50 +476,89 @@ func (r *Runner) writeCheckpoint(j Job, s batchSim) error {
 	if err != nil {
 		return err
 	}
-	w := snap.NewWriter()
-	w.U32(snap.Magic)
-	w.String(ckptHeader)
-	w.Version(ckptVersion)
-	writeJobIdentity(w, j)
-	w.U64(s.Cycle())
-	w.Bytes32(blob)
-	path := r.checkpointPath(j)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, w.Bytes(), 0o644); err != nil {
+	rec, err := EncodeCheckpoint(j, s.Cycle(), blob)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	st, err := r.checkpointStore()
+	if err != nil {
+		return err
+	}
+	_, err = st.Put(j.Name, s.Cycle(), rec)
+	return err
 }
 
-// loadCheckpoint returns the simulator snapshot from the job's
-// checkpoint file when one exists and its identity matches.
+// loadCheckpoint returns the simulator snapshot from the job's latest
+// stored checkpoint when one exists and its identity matches. Jobs
+// checkpointed by older builds fall back to the legacy `.ckpt` file.
+// A damaged checkpoint never kills the job — it restarts from scratch.
 func (r *Runner) loadCheckpoint(j Job) (blob []byte, cycle uint64, ok bool) {
 	if r.CheckpointDir == "" {
 		return nil, 0, false
 	}
-	data, err := os.ReadFile(r.checkpointPath(j))
+	var data []byte
+	if st, err := r.checkpointStore(); err == nil {
+		switch _, d, err := st.Latest(j.Name); {
+		case err == nil:
+			data = d
+		case !errors.Is(err, store.ErrNotFound):
+			r.logf("job %s: stored checkpoint unusable (%v)", j.Name, err)
+		}
+	}
+	if data == nil {
+		d, err := os.ReadFile(r.checkpointPath(j))
+		if err != nil {
+			return nil, 0, false
+		}
+		data = d
+	}
+	c, err := DecodeCheckpoint(data)
 	if err != nil {
+		r.logf("job %s: ignoring unreadable checkpoint (%v)", j.Name, err)
 		return nil, 0, false
 	}
-	rd := snap.NewReader(data)
-	if rd.U32() != snap.Magic || rd.String() != ckptHeader {
-		return nil, 0, false
-	}
-	rd.Version(ckptHeader, ckptVersion)
-	var stored Job
-	readJobIdentity(rd, &stored)
-	cycle = rd.U64()
-	blob = rd.Bytes32()
-	if rd.Err() != nil || stored != jobIdentity(j) {
+	if c.Job != jobIdentity(j) {
 		r.logf("job %s: ignoring checkpoint with mismatched identity", j.Name)
 		return nil, 0, false
 	}
-	return blob, cycle, true
+	return c.Blob, c.Cycle, true
 }
 
+// removeCheckpoint drops the job's checkpoints after success: the
+// store run and any legacy whole-file checkpoint. Chunks the run
+// referenced are reclaimed by the end-of-batch GC sweep.
 func (r *Runner) removeCheckpoint(j Job) {
-	if r.CheckpointDir != "" {
-		os.Remove(r.checkpointPath(j))
+	if r.CheckpointDir == "" {
+		return
+	}
+	if st, err := r.checkpointStore(); err == nil {
+		if err := st.DeleteRun(j.Name); err != nil {
+			r.logf("job %s: dropping checkpoints: %v", j.Name, err)
+		}
+	}
+	os.Remove(r.checkpointPath(j))
+}
+
+// gcCheckpoints sweeps the checkpoint store after a batch: chunks
+// that only completed jobs referenced are reclaimed (the counterpart
+// of the park-directory leak fix). Recent files are spared so
+// concurrent batches sharing the directory are safe.
+func (r *Runner) gcCheckpoints() {
+	if r.CheckpointDir == "" {
+		return
+	}
+	st, err := r.checkpointStore()
+	if err != nil {
+		return
+	}
+	stats, err := st.GC(store.GCOptions{Grace: checkpointGCGrace})
+	if err != nil {
+		r.logf("checkpoint gc: %v", err)
+		return
+	}
+	if stats.SweptChunks > 0 || stats.SweptLegacy > 0 {
+		r.logf("checkpoint gc: swept %d chunks (%d bytes) and %d legacy files",
+			stats.SweptChunks, stats.SweptBytes, stats.SweptLegacy)
 	}
 }
 

@@ -126,8 +126,8 @@ func TestResumeFromCheckpoint(t *testing.T) {
 	if first.Checkpoints == 0 {
 		t.Fatal("first attempt wrote no checkpoints")
 	}
-	if _, err := os.Stat(filepath.Join(dir, first.Job.Name+".ckpt")); err != nil {
-		t.Fatalf("checkpoint file missing after kill: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, "runs", first.Job.Name+".idx")); err != nil {
+		t.Fatalf("checkpoint store index missing after kill: %v", err)
 	}
 
 	// Second attempt resumes and completes.
@@ -144,10 +144,13 @@ func TestResumeFromCheckpoint(t *testing.T) {
 		t.Fatalf("resumed run: %d cycles / %d instrs, uninterrupted: %d / %d",
 			second.Cycles, second.Instrs, ref.Cycles, ref.Instrs)
 	}
-	// A successful job removes its checkpoint so the next batch starts
-	// fresh.
+	// A successful job removes its checkpoints so the next batch starts
+	// fresh — the store run is dropped and no legacy file lingers.
+	if _, err := os.Stat(filepath.Join(dir, "runs", second.Job.Name+".idx")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint run not cleaned up after success: %v", err)
+	}
 	if _, err := os.Stat(filepath.Join(dir, second.Job.Name+".ckpt")); !os.IsNotExist(err) {
-		t.Fatalf("checkpoint not cleaned up after success: %v", err)
+		t.Fatalf("legacy checkpoint file written: %v", err)
 	}
 }
 
@@ -189,8 +192,9 @@ func TestCheckpointIdentityIgnoresCheck(t *testing.T) {
 	checkOK(t, res)
 }
 
-// TestCorruptCheckpointRestarts verifies a truncated checkpoint file
-// does not kill the job — it restarts from scratch and still succeeds.
+// TestCorruptCheckpointRestarts verifies a damaged checkpoint store —
+// here, a truncated run index — does not kill the job: it restarts
+// from scratch and still succeeds.
 func TestCorruptCheckpointRestarts(t *testing.T) {
 	dir := t.TempDir()
 	job := Job{Name: "c", Arch: "arm", Workload: "gsm/dec", N: 40, PanicAt: 800}
@@ -198,7 +202,7 @@ func TestCorruptCheckpointRestarts(t *testing.T) {
 	if got := r.Run([]Job{job}).Results[0]; got.Status != StatusPanic {
 		t.Fatalf("setup run: status %q", got.Status)
 	}
-	path := filepath.Join(dir, "c.ckpt")
+	path := filepath.Join(dir, "runs", "c.idx")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -211,6 +215,44 @@ func TestCorruptCheckpointRestarts(t *testing.T) {
 	res := (&Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}).Run([]Job{clean}).Results[0]
 	if res.Resumed {
 		t.Fatal("resumed from a corrupt checkpoint")
+	}
+	checkOK(t, res)
+}
+
+// Checkpoints written by older builds as whole `.ckpt` files must
+// still resume when the store holds nothing for the job.
+func TestLegacyCkptFileStillResumes(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Name: "lg", Arch: "arm", Workload: "gsm/dec", N: 40, PanicAt: 800}
+	r := &Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}
+	if got := r.Run([]Job{job}).Results[0]; got.Status != StatusPanic {
+		t.Fatalf("setup run: status %q", got.Status)
+	}
+	// Convert the stored checkpoint into the legacy layout by hand:
+	// the store record's bytes ARE the legacy file format.
+	clean := Job{Name: "lg", Arch: "arm", Workload: "gsm/dec", N: 40}
+	clean.fill()
+	st, err := r.checkpointStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := st.Latest("lg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsCheckpoint(rec) {
+		t.Fatal("stored record is not a checkpoint")
+	}
+	if err := st.DeleteRun("lg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lg.ckpt"), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := (&Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: 200}).Run([]Job{clean}).Results[0]
+	if !res.Resumed {
+		t.Fatal("legacy .ckpt file did not resume")
 	}
 	checkOK(t, res)
 }
@@ -262,8 +304,8 @@ func TestInterruptFlushesCheckpoint(t *testing.T) {
 	if first.Checkpoints == 0 {
 		t.Fatal("interrupt did not flush a checkpoint for the in-progress job")
 	}
-	if _, err := os.Stat(filepath.Join(dir, first.Job.Name+".ckpt")); err != nil {
-		t.Fatalf("flushed checkpoint file missing: %v", err)
+	if _, err := os.Stat(filepath.Join(dir, "runs", first.Job.Name+".idx")); err != nil {
+		t.Fatalf("flushed checkpoint store index missing: %v", err)
 	}
 	// The flushed checkpoint must pass the identity check and carry a
 	// mid-run cycle, i.e. a rerun with the same directory resumes.

@@ -706,3 +706,106 @@ func TestParkAndResurrect(t *testing.T) {
 		t.Fatalf("trace checksum %s across park+resurrect, want %s", endInfo.TraceChecksum, ref.checksum)
 	}
 }
+
+// ---- gateway restart: migrate sessions the gateway did not place ----
+
+// A gateway restarted between session creation and worker drain has
+// no route table and no recorded create bodies. Draining a worker
+// through the new gateway must still migrate every resident session —
+// routes are adopted from the worker's own session list and create
+// bodies re-derived from session info — and the finished runs must be
+// trace-checksum-identical to uninterrupted in-process runs.
+func TestDifferentialDrainAfterGatewayRestart(t *testing.T) {
+	for _, spec := range diffSpecs {
+		spec := spec
+		t.Run(spec.Target, func(t *testing.T) {
+			ref := runRef(t, spec)
+			wA := startWorker(t, "wA", server.Config{IdleTimeout: -1})
+			wB := startWorker(t, "wB", server.Config{IdleTimeout: -1})
+
+			// Gateway #1 places sessions on both workers and steps
+			// them partway.
+			f1 := startFabric(t, Config{}, wA, wB)
+			cut := ref.cycles / 2
+			byWorker := map[string][]string{}
+			var ids []string
+			for i := 0; i < 16 && (len(byWorker["wA"]) == 0 || len(byWorker["wB"]) == 0); i++ {
+				info, at := f1.cl.create(spec)
+				byWorker[at] = append(byWorker[at], info.ID)
+				ids = append(ids, info.ID)
+				if res := f1.cl.step(info.ID, cut); res.Cycle != cut {
+					t.Fatalf("stepped to %d, want %d", res.Cycle, cut)
+				}
+			}
+			if len(byWorker["wA"]) == 0 || len(byWorker["wB"]) == 0 {
+				t.Fatalf("placement never used both workers: %v", byWorker)
+			}
+			t.Logf("placed %d sessions (%d on wA, %d on wB), cut at %d",
+				len(ids), len(byWorker["wA"]), len(byWorker["wB"]), cut)
+
+			// The gateway dies. Workers keep their resident sessions.
+			f1.g.Close()
+			f1.hs.Close()
+
+			// Gateway #2 starts fresh — empty route table — and the
+			// workers re-register.
+			f2 := startFabric(t, Config{}, wA, wB)
+
+			// Drain wA through the new gateway: it must adopt wA's
+			// resident sessions from the worker's own list and
+			// re-derive their create bodies to migrate them.
+			moved, err := f2.g.DrainWorker("wA")
+			if err != nil {
+				t.Fatalf("drain after restart: %v", err)
+			}
+			if moved != len(byWorker["wA"]) {
+				t.Fatalf("drain migrated %d sessions, wA hosted %d", moved, len(byWorker["wA"]))
+			}
+			if wA.mgr.LiveCount() != 0 {
+				t.Fatalf("wA still hosts %d sessions after drain", wA.mgr.LiveCount())
+			}
+			mtext := f2.cl.metrics()
+			if v := metricValue(t, mtext, `osmgate_migrations_total{reason="drain"}`); v != uint64(moved) {
+				t.Fatalf("drain migrations = %d, want %d", v, moved)
+			}
+			if v := metricValue(t, mtext, "osmgate_migration_failures_total"); v != 0 {
+				t.Fatalf("migration failures = %d", v)
+			}
+
+			// Every session — the migrated ones and the wB residents
+			// the new gateway discovers on first touch — finishes
+			// byte-identical to the reference.
+			for _, id := range ids {
+				info, at := f2.cl.infoAt(id)
+				if at != "wB" {
+					t.Fatalf("session %s served by %q after drain, want wB", id, at)
+				}
+				if info.Cycle != cut {
+					t.Fatalf("session %s at cycle %d after restart+drain, want %d", id, info.Cycle, cut)
+				}
+				var final server.StepResult
+				for i := 0; ; i++ {
+					if i > 10_000 {
+						t.Fatalf("session %s did not finish", id)
+					}
+					final = f2.cl.step(id, 2000)
+					if final.Done {
+						break
+					}
+				}
+				if final.Cycle != ref.cycles {
+					t.Fatalf("session %s finished at %d cycles, want %d", id, final.Cycle, ref.cycles)
+				}
+				if fmt.Sprint(final.Result.Reported) != fmt.Sprint(ref.reported) {
+					t.Fatalf("session %s reported %v, want %v", id, final.Result.Reported, ref.reported)
+				}
+				compareRegs(t, id, ref.regs, f2.cl.registers(id))
+				endInfo, _ := f2.cl.infoAt(id)
+				if endInfo.TraceChecksum != ref.checksum {
+					t.Fatalf("session %s trace checksum %s across restart+drain, want %s",
+						id, endInfo.TraceChecksum, ref.checksum)
+				}
+			}
+		})
+	}
+}

@@ -30,6 +30,11 @@ var errNoRoute = errors.New("gate: no route for session")
 func (g *Gateway) Migrate(id, target, reason string) (from, to string, err error) {
 	rt, ok := g.getRoute(id)
 	if !ok {
+		// Admin-driven migration of a session this gateway did not
+		// place: find its host and adopt the route first.
+		rt, ok = g.discoverRoute(id)
+	}
+	if !ok {
 		return "", "", fmt.Errorf("%w: %s", errNoRoute, id)
 	}
 	rt.mu.Lock()
@@ -109,7 +114,16 @@ func (g *Gateway) moveSession(id string, rt *route, src, dst Worker) error {
 	}
 
 	if len(rt.create) == 0 {
-		return fmt.Errorf("no create body recorded for %s; cannot re-create", id)
+		// A gateway that did not place this session (it restarted, or
+		// adopted the route from a worker's resident list) has no
+		// recorded create body. The source worker's session info
+		// carries the full originating spec — rebuild the body from
+		// that, and cache it on the route for the next hop.
+		create, err := g.deriveCreate(src, id)
+		if err != nil {
+			return fmt.Errorf("no create body recorded for %s: %w", id, err)
+		}
+		rt.create = create
 	}
 	status, _, body, err := g.do(http.MethodPost, dst.Addr+"/v1/sessions", "application/json", rt.create)
 	if err != nil {
@@ -139,6 +153,35 @@ func (g *Gateway) moveSession(id string, rt *route, src, dst Worker) error {
 		g.logf("migrate %s: deleting source copy on %s: status %d err %v %s", id, src.ID, status, err, trimBody(body))
 	}
 	return nil
+}
+
+// deriveCreate rebuilds a session's create body from the hosting
+// worker's single-session info, which reports the originating spec
+// and trace limit. This is what lets a restarted gateway migrate
+// sessions it did not place.
+func (g *Gateway) deriveCreate(src Worker, id string) ([]byte, error) {
+	status, _, body, err := g.do(http.MethodGet, src.Addr+"/v1/sessions/"+id, "", nil)
+	if err != nil {
+		return nil, fmt.Errorf("session info from %s: %w", src.ID, err)
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("session info from %s: status %d: %s", src.ID, status, trimBody(body))
+	}
+	var info server.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("session info from %s: %w", src.ID, err)
+	}
+	if info.Spec == nil {
+		return nil, fmt.Errorf("session info from %s carries no spec (worker predates spec reporting?)", src.ID)
+	}
+	traceLimit := info.TraceLimit
+	req := server.CreateRequest{Spec: *info.Spec, ID: id, TraceLimit: &traceLimit}
+	create, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	g.logf("derived create body for %s from worker %s", id, src.ID)
+	return create, nil
 }
 
 // DrainWorker migrates every session routed to the worker onto the
@@ -189,9 +232,11 @@ func (g *Gateway) DrainWorker(id string) (int, error) {
 		g.logf("drain %s: admin/drain unavailable (status %d, err %v); using route table", id, status, err)
 	}
 
-	// The route table is the source of truth for what the gateway can
-	// move (it holds the create bodies); the worker's own list only
-	// flags strays.
+	// Migrate everything the route table maps to this worker, plus
+	// any session the worker itself reports that the gateway has no
+	// route for — a restarted gateway adopts those strays (the create
+	// body is re-derived from the worker's session info during the
+	// move), so no session is stranded on the draining worker.
 	g.mu.Lock()
 	var resident []string
 	routed := make(map[string]bool)
@@ -211,10 +256,15 @@ func (g *Gateway) DrainWorker(id string) (int, error) {
 			resident = append(resident, sid)
 		}
 	}
+	sort.Strings(reported)
 	for _, sid := range reported {
-		if !routed[sid] {
-			g.logf("drain %s: session %s is resident but was not placed through this gateway; cannot migrate it", id, sid)
+		if routed[sid] || !server.ValidSessionID(sid) {
+			continue
 		}
+		g.adoptRoute(sid, id)
+		resident = append(resident, sid)
+		routed[sid] = true
+		g.logf("drain %s: adopted unrouted resident session %s", id, sid)
 	}
 
 	var errs []error
@@ -237,16 +287,69 @@ func (g *Gateway) DrainWorker(id string) (int, error) {
 	return moved, errors.Join(errs...)
 }
 
-// ensureRoute returns the live route for a session, resurrecting it
-// from a parked snapshot if the id has no route but a park exists.
+// ensureRoute returns the live route for a session: the known route,
+// a route discovered by asking the fleet (a restarted gateway lost
+// its table), or one resurrected from a parked snapshot.
 func (g *Gateway) ensureRoute(id string) (*route, error) {
 	if rt, ok := g.getRoute(id); ok {
+		return rt, nil
+	}
+	if rt, ok := g.discoverRoute(id); ok {
 		return rt, nil
 	}
 	if g.cfg.ParkDir == "" {
 		return nil, fmt.Errorf("%w: %s", errNoRoute, id)
 	}
 	return g.resurrect(id)
+}
+
+// discoverRoute asks the fleet which worker hosts a session the
+// gateway has no route for, and adopts a route pointing at the worker
+// that answers. Ring placement order is probed first (the likeliest
+// hosts), then the remaining live workers — an earlier gateway may
+// have migrated the session anywhere.
+func (g *Gateway) discoverRoute(id string) (*route, bool) {
+	if !server.ValidSessionID(id) {
+		return nil, false
+	}
+	cands := g.placementOrder(id)
+	seen := make(map[string]bool, len(cands))
+	for _, w := range cands {
+		seen[w.ID] = true
+	}
+	g.mu.Lock()
+	for _, w := range g.workers {
+		if !seen[w.ID] && (w.State == WorkerHealthy || w.State == WorkerDraining) {
+			cands = append(cands, *w)
+		}
+	}
+	g.mu.Unlock()
+	sort.SliceStable(cands[len(seen):], func(i, j int) bool {
+		return cands[len(seen)+i].ID < cands[len(seen)+j].ID
+	})
+	for _, w := range cands {
+		status, _, _, err := g.do(http.MethodGet, w.Addr+"/v1/sessions/"+id, "", nil)
+		if err == nil && status == http.StatusOK {
+			g.logf("discovered session %s on worker %s, route adopted", id, w.ID)
+			return g.adoptRoute(id, w.ID), true
+		}
+	}
+	return nil, false
+}
+
+// adoptRoute installs a route for a session the gateway did not place
+// (or returns the existing route if a concurrent adoption won). The
+// create body is left empty; the first migration re-derives it from
+// the hosting worker.
+func (g *Gateway) adoptRoute(id, workerID string) *route {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rt, ok := g.routes[id]; ok {
+		return rt
+	}
+	rt := &route{worker: workerID}
+	g.routes[id] = rt
+	return rt
 }
 
 // resurrect restores a parked session onto a ring-chosen worker and

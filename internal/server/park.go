@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -9,29 +10,38 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/store"
 )
 
 // Session parking: instead of discarding an idle-evicted session's
 // state, the janitor writes its final snapshot to Config.ParkDir so a
-// gateway can resurrect the session later on any worker. Two files
-// per parked session:
+// gateway can resurrect the session later on any worker. The park
+// directory is an internal/store root: the snapshot blob is chunked,
+// deduplicated and compressed into the store under the session id
+// (run = session id, cycle = park cycle), and a small JSON metadata
+// file binds the id to its originating spec:
 //
-//	<checksum>.snap   the session snapshot, content-named by the
-//	                  FNV-1a digest of its bytes — identical states
-//	                  dedup to one blob across sessions
-//	<id>.park         JSON metadata binding the session id to its
-//	                  blob, target and originating spec
+//	<id>.park         JSON metadata: spec, target, cycle, and the
+//	                  whole-blob checksum the restore is verified
+//	                  against
+//	chunks/, runs/    the store's content-addressed chunk files and
+//	                  per-run indexes
 //
-// Both are written atomically (temp file + rename) so a concurrent
-// reader never observes a torn park. Blobs are never deleted here:
-// they are content-addressed, so another park may reference the same
-// bytes; metadata files are removed when a park is consumed.
+// Metadata is written atomically (temp file + rename) so a concurrent
+// reader never observes a torn park. Store chunks left unreferenced
+// after a park is consumed are reclaimed by ParkGC (`osmstore gc` or
+// the janitor hook) — the fix for the former "blobs are never deleted
+// here" leak. Parks written by older builds as whole
+// `<checksum>.snap` blobs still load, and GC treats a .park reference
+// as a root for the legacy blob it names.
 
 // ParkMeta is the parked-session metadata record.
 type ParkMeta struct {
 	ID string `json:"id"`
 	// Checksum is the 64-bit FNV-1a digest of the snapshot blob,
-	// formatted %016x — also the blob's filename stem.
+	// formatted %016x. Legacy parks also use it as the whole-blob
+	// filename stem; store-backed parks verify the reassembled blob
+	// against it.
 	Checksum string `json:"checksum"`
 	Target   string `json:"target"`
 	Cycle    uint64 `json:"cycle"`
@@ -45,7 +55,7 @@ type ParkMeta struct {
 // ParkMetaPath returns the metadata path for a session id.
 func ParkMetaPath(dir, id string) string { return filepath.Join(dir, id+".park") }
 
-// ParkBlobPath returns the blob path for a checksum.
+// ParkBlobPath returns the legacy whole-blob path for a checksum.
 func ParkBlobPath(dir, checksum string) string { return filepath.Join(dir, checksum+".snap") }
 
 // BlobChecksum returns the content name of a snapshot blob: its
@@ -56,24 +66,46 @@ func BlobChecksum(blob []byte) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// LoadPark reads a parked session's metadata and blob, verifying the
-// blob against its content name. A missing park returns os.ErrNotExist
-// (wrapped), so callers can distinguish "never parked" from damage.
-func LoadPark(dir, id string) (ParkMeta, []byte, error) {
+// ReadParkMeta reads and validates a parked session's metadata record
+// without touching the blob.
+func ReadParkMeta(dir, id string) (ParkMeta, error) {
 	raw, err := os.ReadFile(ParkMetaPath(dir, id))
 	if err != nil {
-		return ParkMeta{}, nil, err
+		return ParkMeta{}, err
 	}
 	var meta ParkMeta
 	if err := json.Unmarshal(raw, &meta); err != nil {
-		return ParkMeta{}, nil, fmt.Errorf("park metadata for %s: %w", id, err)
+		return ParkMeta{}, fmt.Errorf("park metadata for %s: %w", id, err)
 	}
 	if meta.ID != id {
-		return ParkMeta{}, nil, fmt.Errorf("park metadata for %s names session %s", id, meta.ID)
+		return ParkMeta{}, fmt.Errorf("park metadata for %s names session %s", id, meta.ID)
 	}
-	blob, err := os.ReadFile(ParkBlobPath(dir, meta.Checksum))
+	return meta, nil
+}
+
+// LoadPark reads a parked session's metadata and blob, verifying the
+// blob against its recorded checksum. The blob comes from the chunk
+// store; parks written by older builds fall back to the legacy
+// whole-blob file. A missing park returns os.ErrNotExist (wrapped),
+// so callers can distinguish "never parked" from damage.
+func LoadPark(dir, id string) (ParkMeta, []byte, error) {
+	meta, err := ReadParkMeta(dir, id)
 	if err != nil {
-		return ParkMeta{}, nil, fmt.Errorf("park blob for %s: %w", id, err)
+		return ParkMeta{}, nil, err
+	}
+	var blob []byte
+	st, err := store.Open(dir, store.Options{})
+	if err == nil {
+		blob, err = st.Get(id, meta.Cycle)
+	}
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) && !os.IsNotExist(err) {
+			return ParkMeta{}, nil, fmt.Errorf("park blob for %s: %w", id, err)
+		}
+		blob, err = os.ReadFile(ParkBlobPath(dir, meta.Checksum))
+		if err != nil {
+			return ParkMeta{}, nil, fmt.Errorf("park blob for %s: %w", id, err)
+		}
 	}
 	if got := BlobChecksum(blob); got != meta.Checksum {
 		return ParkMeta{}, nil, fmt.Errorf("park blob for %s: checksum %s, content named %s", id, got, meta.Checksum)
@@ -81,9 +113,17 @@ func LoadPark(dir, id string) (ParkMeta, []byte, error) {
 	return meta, blob, nil
 }
 
-// ConsumePark removes a parked session's metadata after resurrection.
-// The content-addressed blob stays (another park may share it).
+// ConsumePark removes a parked session's metadata and drops the
+// session's run from the store index after resurrection. The chunks
+// themselves stay until the next GC sweep — concurrent readers that
+// already hold the entry list can still reassemble — at which point
+// anything no other run references is reclaimed.
 func ConsumePark(dir, id string) error {
+	if st, err := store.Open(dir, store.Options{}); err == nil {
+		if err := st.DeleteRun(id); err != nil {
+			return err
+		}
+	}
 	return os.Remove(ParkMetaPath(dir, id))
 }
 
@@ -105,31 +145,39 @@ func writeAtomic(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// park writes the evicted session's final snapshot into ParkDir. The
-// session has already been removed from the table, so no new requests
-// can reach it; taking s.mu waits out any quantum still running.
+// parkStore lazily opens the chunk store rooted at ParkDir.
+func (m *Manager) parkStore() (*store.Store, error) {
+	m.storeOnce.Do(func() {
+		m.store, m.storeErr = store.Open(m.cfg.ParkDir, store.Options{})
+	})
+	return m.store, m.storeErr
+}
+
+// park writes the evicted session's final snapshot into the ParkDir
+// store. The session has already been removed from the table, so no
+// new requests can reach it; taking s.mu waits out any quantum still
+// running.
 func (m *Manager) park(s *Session) error {
 	s.mu.Lock()
 	data, cycle, err := m.snapshotLocked(s)
-	traceLimit := s.rec.Limit
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	sum := BlobChecksum(data)
-	blobPath := ParkBlobPath(m.cfg.ParkDir, sum)
-	if _, err := os.Stat(blobPath); err != nil {
-		// First park of this content; otherwise the blob dedups.
-		if err := writeAtomic(blobPath, data); err != nil {
-			return err
-		}
+	st, err := m.parkStore()
+	if err != nil {
+		return err
+	}
+	stats, err := st.Put(s.ID, cycle, data)
+	if err != nil {
+		return err
 	}
 	meta := ParkMeta{
 		ID:         s.ID,
-		Checksum:   sum,
+		Checksum:   BlobChecksum(data),
 		Target:     s.Spec.Target,
 		Cycle:      cycle,
-		TraceLimit: traceLimit,
+		TraceLimit: s.traceLimit,
 		Spec:       s.Spec,
 		ParkedAt:   time.Now().UTC(),
 	}
@@ -141,6 +189,36 @@ func (m *Manager) park(s *Session) error {
 		return err
 	}
 	m.Metrics.SessionsParked.Add(1)
-	m.logf("session %s: parked at cycle %d (%s, %d bytes)", s.ID, cycle, sum, len(data))
+	m.logf("session %s: parked at cycle %d (%d bytes, %d/%d chunks new, %d on disk)",
+		s.ID, cycle, len(data), stats.NewChunks, stats.Chunks, stats.NewBytes)
 	return nil
+}
+
+// ParkGCGrace is the janitor's GC grace window: unreferenced store
+// files younger than this survive a sweep, protecting parks another
+// process is mid-way through writing (workers and gateways share one
+// park directory).
+const ParkGCGrace = time.Minute
+
+// ParkGC sweeps the ParkDir store: chunks no park references anymore
+// (because ConsumePark dropped their run) and legacy whole-blob files
+// no .park metadata names are removed. The janitor calls this
+// periodically; `osmstore gc` is the manual form.
+func (m *Manager) ParkGC(grace time.Duration) (store.GCStats, error) {
+	if m.cfg.ParkDir == "" {
+		return store.GCStats{}, nil
+	}
+	st, err := m.parkStore()
+	if err != nil {
+		return store.GCStats{}, err
+	}
+	stats, err := st.GC(store.GCOptions{Grace: grace})
+	if err != nil {
+		return stats, err
+	}
+	if stats.SweptChunks > 0 || stats.SweptLegacy > 0 {
+		m.logf("park gc: swept %d chunks (%d bytes) and %d legacy blobs, %d live chunks",
+			stats.SweptChunks, stats.SweptBytes, stats.SweptLegacy, stats.LiveChunks)
+	}
+	return stats, nil
 }

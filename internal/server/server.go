@@ -21,6 +21,7 @@ import (
 	"repro/internal/osm/invariant"
 	"repro/internal/runner"
 	"repro/internal/snap"
+	"repro/internal/store"
 )
 
 // MaxSessionIDLen bounds a client-supplied session id.
@@ -137,6 +138,11 @@ type Session struct {
 	ID   string
 	Spec runner.Spec
 
+	// traceLimit is the recorder retention the session was created
+	// with — immutable, so info and park can report it without taking
+	// the simulator mutex.
+	traceLimit int
+
 	mu   sync.Mutex
 	inst *runner.Instance
 	rec  *osm.Recorder
@@ -192,10 +198,29 @@ type Info struct {
 	LastUsed      time.Time      `json:"last_used"`
 	Error         string         `json:"error,omitempty"`
 	Result        *runner.Result `json:"result,omitempty"`
+
+	// Spec and TraceLimit are reported on single-session info only
+	// (not list responses — Spec can carry a whole program image).
+	// They let a gateway that did not place this session re-derive
+	// its create body, so drain and rebalance survive gateway
+	// restarts.
+	Spec       *runner.Spec `json:"spec,omitempty"`
+	TraceLimit int          `json:"trace_limit,omitempty"`
 }
 
-// info snapshots the metadata mirror.
-func (s *Session) info(arch string) Info {
+// info snapshots the metadata mirror. withSpec additionally attaches
+// the full originating spec and trace limit.
+func (s *Session) info(arch string, withSpec bool) Info {
+	inf := s.infoBase(arch)
+	if withSpec {
+		spec := s.Spec
+		inf.Spec = &spec
+		inf.TraceLimit = s.traceLimit
+	}
+	return inf
+}
+
+func (s *Session) infoBase(arch string) Info {
 	s.meta.Lock()
 	defer s.meta.Unlock()
 	return Info{
@@ -247,6 +272,11 @@ type Manager struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	closeOnce   sync.Once
+
+	// The ParkDir chunk store, opened on first use.
+	storeOnce sync.Once
+	store     *store.Store
+	storeErr  error
 }
 
 // NewManager returns a manager with an empty session table and a
@@ -301,12 +331,21 @@ func (m *Manager) Start() {
 		defer close(m.janitorDone)
 		t := time.NewTicker(interval)
 		defer t.Stop()
+		ticks := 0
 		for {
 			select {
 			case <-m.janitorStop:
 				return
 			case <-t.C:
 				m.evictIdle()
+				// Reclaim park-store chunks orphaned by consumed parks
+				// every few passes; the grace window keeps the sweep
+				// safe against other processes sharing the directory.
+				if ticks++; ticks%8 == 0 && m.cfg.ParkDir != "" {
+					if _, err := m.ParkGC(ParkGCGrace); err != nil {
+						m.logf("park gc: %v", err)
+					}
+				}
 			}
 		}
 	}()
@@ -468,7 +507,7 @@ func (m *Manager) CreateWithID(id string, spec runner.Spec, traceLimit int) (*Se
 	rec.Limit = traceLimit
 	inst.Director().Tracer = rec
 
-	s := &Session{ID: id, Spec: inst.Spec(), inst: inst, rec: rec}
+	s := &Session{ID: id, Spec: inst.Spec(), traceLimit: traceLimit, inst: inst, rec: rec}
 	now := time.Now()
 	s.meta.state = StateCreated
 	s.meta.created = now
@@ -524,7 +563,7 @@ func (m *Manager) List() []Info {
 	m.mu.Unlock()
 	infos := make([]Info, 0, len(ss))
 	for _, s := range ss {
-		infos = append(infos, s.info(s.inst.Arch()))
+		infos = append(infos, s.info(s.inst.Arch(), false))
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 	return infos
@@ -607,8 +646,9 @@ func (s *Session) poison(err error) {
 // (an in-handler panic may have left the simulator inconsistent).
 func (s *Session) Poison(err error) { s.poison(err) }
 
-// Info returns the session's current summary.
-func (m *Manager) Info(s *Session) Info { return s.info(s.inst.Arch()) }
+// Info returns the session's current summary, including the full
+// originating spec (single-session surface; lists omit it).
+func (m *Manager) Info(s *Session) Info { return s.info(s.inst.Arch(), true) }
 
 // Registers returns the session's named architectural registers.
 func (m *Manager) Registers(s *Session) (uint64, []runner.Reg) {
@@ -700,33 +740,66 @@ func (m *Manager) snapshotLocked(s *Session) ([]byte, uint64, error) {
 	return w.Bytes(), cycle, nil
 }
 
+// SessionSnapshot is the decoded form of the session-snapshot wire
+// format: the target-bound simulator blob plus (v2) the recorder
+// state.
+type SessionSnapshot struct {
+	Target string
+	Cycle  uint64
+	Blob   []byte
+	// Tracer is a reader over the recorder state, nil when the
+	// snapshot carries none (v1, or flag unset). Blob and Tracer
+	// alias the input data.
+	Tracer *snap.Reader
+}
+
+// DecodeSessionSnapshot parses the session-snapshot wire format
+// without touching any session — the shared decoder behind Restore
+// and offline consumers (osmstore's time-travel query replays parked
+// snapshots through it).
+func DecodeSessionSnapshot(data []byte) (SessionSnapshot, error) {
+	var ss SessionSnapshot
+	r := snap.NewReader(data)
+	if r.U32() != snap.Magic || r.String() != sessHeader {
+		return ss, errors.New("not an osmserve session snapshot")
+	}
+	version := r.U16()
+	if version != sessVersion && version != sessVersionV1 {
+		return ss, fmt.Errorf("session snapshot version %d, this build reads %d and %d",
+			version, sessVersionV1, sessVersion)
+	}
+	ss.Target = r.String()
+	ss.Cycle = r.U64()
+	ss.Blob = r.Bytes32()
+	if version >= 2 {
+		if flags := r.U8(); flags&sessFlagTracer != 0 {
+			ss.Tracer = r.Blob()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return SessionSnapshot{}, err
+	}
+	return ss, nil
+}
+
+// IsSessionSnapshot reports whether data starts with the
+// session-snapshot header (any version).
+func IsSessionSnapshot(data []byte) bool {
+	r := snap.NewReader(data)
+	return r.U32() == snap.Magic && r.String() == sessHeader && r.Err() == nil
+}
+
 // Restore replaces the session's simulation state from an uploaded
 // snapshot. The session returns to the paused state (or effectively
 // done, discovered on the next step). A v2 snapshot carries the
 // originating session's trace state and restores it — migration does
 // not reset the whole-run checksum; a v1 snapshot restarts the trace.
 func (m *Manager) Restore(s *Session, data []byte) (uint64, error) {
-	r := snap.NewReader(data)
-	if r.U32() != snap.Magic || r.String() != sessHeader {
-		return 0, fmt.Errorf("%w: not an osmserve session snapshot", ErrConflict)
-	}
-	version := r.U16()
-	if version != sessVersion && version != sessVersionV1 {
-		return 0, fmt.Errorf("%w: session snapshot version %d, this build reads %d and %d",
-			ErrConflict, version, sessVersionV1, sessVersion)
-	}
-	target := r.String()
-	cycle := r.U64()
-	blob := r.Bytes32()
-	var tracer *snap.Reader
-	if version >= 2 {
-		if flags := r.U8(); flags&sessFlagTracer != 0 {
-			tracer = r.Blob()
-		}
-	}
-	if err := r.Err(); err != nil {
+	ss, err := DecodeSessionSnapshot(data)
+	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrConflict, err)
 	}
+	target, cycle, blob, tracer := ss.Target, ss.Cycle, ss.Blob, ss.Tracer
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -19,7 +19,11 @@
 // Decoding never panics: the Reader carries a sticky error, every
 // accessor returns a zero value once the error is set, and callers
 // check Err (or use the helpers that return errors) at component
-// boundaries.
+// boundaries. Encoding mirrors the contract: the Writer carries its
+// own sticky error — set when a length-prefixed value exceeds the
+// 32-bit length field it would be framed with — and every append is
+// inert once the error is set, so an oversized blob can never emit a
+// silently truncated length the bounds-checked Reader would misparse.
 package snap
 
 import (
@@ -33,20 +37,62 @@ const Magic uint32 = 0x4f534e50
 // Writer accumulates an encoded snapshot.
 type Writer struct {
 	buf []byte
+	err error
+
+	// MaxBlob bounds a single length-prefixed value — Bytes32, String,
+	// a ZBytes payload or a Blob region. Zero selects the format
+	// ceiling, 2^32-1 (the widest length a U32 prefix can carry);
+	// tests lower it to exercise the rejection path without 4 GiB
+	// allocations. Exceeding the bound sets the sticky error.
+	MaxBlob int
 }
 
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
 // Bytes returns the encoded stream. The slice aliases the writer's
-// buffer; callers must not write to the writer afterwards.
+// buffer; callers must not write to the writer afterwards. A stream is
+// only valid if Err returns nil — persistence layers check it before
+// committing bytes anywhere.
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Err returns the sticky encode error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) fail(format string, args ...any) {
+	if w.err == nil {
+		w.err = fmt.Errorf("snap: "+format, args...)
+	}
+}
+
+// Failf sets the writer's sticky error (first failure wins), for
+// callers whose own validation decides mid-encode that the stream must
+// not be used.
+func (w *Writer) Failf(format string, args ...any) { w.fail(format, args...) }
+
+// maxBlob resolves the per-value length bound.
+func (w *Writer) maxBlob() int {
+	if w.MaxBlob > 0 {
+		return w.MaxBlob
+	}
+	ceiling := uint64(^uint32(0)) // 2^32-1, the widest U32 length prefix
+	limit := uint64(^uint(0) >> 1)
+	if ceiling > limit { // 32-bit platforms: len can never get there
+		return int(limit)
+	}
+	return int(ceiling)
+}
+
 // U8 appends one byte.
-func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+func (w *Writer) U8(v uint8) {
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, v)
+}
 
 // Bool appends a byte 0 or 1.
 func (w *Writer) Bool(v bool) {
@@ -58,13 +104,28 @@ func (w *Writer) Bool(v bool) {
 }
 
 // U16 appends a little-endian 16-bit value.
-func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *Writer) U16(v uint16) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint16(w.buf, v)
+}
 
 // U32 appends a little-endian 32-bit value.
-func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *Writer) U32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
 
 // U64 appends a little-endian 64-bit value.
-func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *Writer) U64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
 
 // I64 appends a little-endian 64-bit value, two's complement.
 func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
@@ -72,14 +133,31 @@ func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
 // Int appends an int as a 64-bit value.
 func (w *Writer) Int(v int) { w.I64(int64(v)) }
 
-// Bytes32 appends a length-prefixed byte string.
+// Bytes32 appends a length-prefixed byte string. A payload too long
+// for its 32-bit length prefix sets the sticky error instead of
+// silently truncating the length.
 func (w *Writer) Bytes32(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(b) > w.maxBlob() {
+		w.fail("bytes32: %d-byte value exceeds the %d-byte length-prefix bound", len(b), w.maxBlob())
+		return
+	}
 	w.U32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
 
-// String appends a length-prefixed string.
+// String appends a length-prefixed string, with the same length bound
+// as Bytes32.
 func (w *Writer) String(s string) {
+	if w.err != nil {
+		return
+	}
+	if len(s) > w.maxBlob() {
+		w.fail("string: %d-byte value exceeds the %d-byte length-prefix bound", len(s), w.maxBlob())
+		return
+	}
 	w.U32(uint32(len(s)))
 	w.buf = append(w.buf, s...)
 }
@@ -88,12 +166,24 @@ func (w *Writer) String(s string) {
 func (w *Writer) Version(v uint16) { w.U16(v) }
 
 // Blob appends a length-prefixed sub-stream produced by f. Restores
-// read it with Reader.Blob, which bounds all reads to the region.
+// read it with Reader.Blob, which bounds all reads to the region. A
+// region too long for its length slot sets the sticky error.
 func (w *Writer) Blob(f func(*Writer)) {
+	if w.err != nil {
+		return
+	}
 	// Reserve the length slot, fill it after f runs.
 	at := len(w.buf)
 	w.U32(0)
 	f(w)
+	if w.err != nil {
+		return
+	}
+	if n := len(w.buf) - at - 4; n > w.maxBlob() {
+		w.fail("blob: %d-byte region exceeds the %d-byte length-prefix bound", n, w.maxBlob())
+		w.buf = w.buf[:at]
+		return
+	}
 	binary.LittleEndian.PutUint32(w.buf[at:], uint32(len(w.buf)-at-4))
 }
 
@@ -105,6 +195,13 @@ func (w *Writer) Blob(f func(*Writer)) {
 // yields identical bytes.
 func (w *Writer) ZBytes(data []byte) {
 	const zMin = 16
+	if w.err != nil {
+		return
+	}
+	if len(data) > w.maxBlob() {
+		w.fail("zbytes: %d-byte value exceeds the %d-byte length-prefix bound", len(data), w.maxBlob())
+		return
+	}
 	w.U32(uint32(len(data)))
 	i := 0
 	for i < len(data) {

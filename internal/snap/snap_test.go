@@ -160,3 +160,92 @@ func TestCloseDetectsTrailingBytes(t *testing.T) {
 		t.Fatal("trailing bytes not detected")
 	}
 }
+
+// The Writer mirrors the Reader's sticky-error discipline: a value too
+// long for its uint32 length prefix is rejected (instead of silently
+// truncating the length via the uint32 cast) and every later write is
+// inert, so a failed encode can never produce a stream the
+// bounds-checked Reader would misparse.
+func TestWriterRejectsOversizedBlobs(t *testing.T) {
+	big := make([]byte, 64)
+	cases := []struct {
+		name  string
+		write func(w *Writer)
+	}{
+		{"Bytes32", func(w *Writer) { w.Bytes32(big) }},
+		{"String", func(w *Writer) { w.String(string(big)) }},
+		{"ZBytes", func(w *Writer) { w.ZBytes(big) }},
+		{"Blob", func(w *Writer) { w.Blob(func(w *Writer) { w.Bytes32(big[:16]); w.Bytes32(big[:16]) }) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWriter()
+			// A 4 GiB allocation is not CI-friendly; the bound is a
+			// field precisely so the overflow path is testable.
+			w.MaxBlob = 32
+			w.U32(7)
+			before := w.Len()
+			tc.write(w)
+			if w.Err() == nil {
+				t.Fatalf("%s accepted a %d-byte value over a %d-byte bound", tc.name, len(big), w.MaxBlob)
+			}
+			if w.Len() != before {
+				t.Fatalf("failed %s left %d bytes in the stream", tc.name, w.Len()-before)
+			}
+			// Sticky: everything after the failure is a no-op.
+			w.U64(1)
+			w.Bytes32([]byte{1})
+			w.ZBytes([]byte{1})
+			w.Blob(func(w *Writer) { w.U8(1) })
+			if w.Len() != before {
+				t.Fatalf("writes after error extended the stream by %d bytes", w.Len()-before)
+			}
+			// The prefix written before the failure is still intact.
+			r := NewReader(w.Bytes())
+			if got := r.U32(); got != 7 {
+				t.Fatalf("prefix corrupted: U32 = %d", got)
+			}
+		})
+	}
+}
+
+func TestWriterUnderBoundStillRoundTrips(t *testing.T) {
+	w := NewWriter()
+	w.MaxBlob = 32
+	w.Bytes32([]byte("ok"))
+	w.String("fine")
+	w.ZBytes(make([]byte, 32))
+	w.Blob(func(w *Writer) { w.U32(5) })
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); string(got) != "ok" {
+		t.Fatalf("Bytes32 = %q", got)
+	}
+	if got := r.String(); got != "fine" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.ZBytes(); len(got) != 32 {
+		t.Fatalf("ZBytes len = %d", len(got))
+	}
+	b := r.Blob()
+	if got := b.U32(); got != 5 {
+		t.Fatalf("Blob U32 = %d", got)
+	}
+	if err := r.Close("t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterFailf(t *testing.T) {
+	w := NewWriter()
+	w.Failf("model state invalid: %d tokens", 3)
+	if w.Err() == nil {
+		t.Fatal("Failf did not set the sticky error")
+	}
+	w.U32(1)
+	if w.Len() != 0 {
+		t.Fatal("write after Failf extended the stream")
+	}
+}

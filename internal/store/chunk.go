@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ChunkRef addresses one chunk by content: the FNV-1a 64-bit hash of
+// its raw bytes plus the raw length. The pair is the chunk's identity
+// everywhere — file name on disk, index record, dedup key — so a hash
+// collision additionally needs a length collision to go unnoticed,
+// and every decode re-verifies both.
+type ChunkRef struct {
+	Sum uint64
+	Len uint32
+}
+
+// maxChunkLen caps a single chunk. It bounds what a hostile index can
+// make the decoder allocate, and is far above any size the chunkers
+// produce (max 4× the configured chunk size).
+const maxChunkLen = 1 << 24
+
+// Chunk-file codec bytes. A chunk file is one codec byte followed by
+// the payload; the byte selects how the payload decodes back to the
+// raw chunk. New codecs get new bytes — old files stay readable.
+const (
+	codecRaw   = 0x00 // payload is the raw chunk
+	codecFlate = 0x01 // payload is DEFLATE-compressed (stdlib flate)
+)
+
+func chunkSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// chunkPath places a chunk under root/chunks, sharded by the first
+// hash byte so no single directory collects millions of entries.
+func chunkPath(root string, ref ChunkRef) string {
+	name := fmt.Sprintf("%016x-%08x.c", ref.Sum, ref.Len)
+	return filepath.Join(root, chunksDirName, name[:2], name)
+}
+
+// splitFixed cuts data into fixed-size chunks. Adjacent snapshots of
+// the same run are position-stable (same layout, a few changed pages),
+// so fixed boundaries already dedup the unchanged chunks; this is the
+// default chunker.
+func splitFixed(data []byte, size int) []ChunkRef {
+	refs := make([]ChunkRef, 0, len(data)/size+1)
+	for len(data) > 0 {
+		n := size
+		if n > len(data) {
+			n = len(data)
+		}
+		refs = append(refs, ChunkRef{Sum: chunkSum(data[:n]), Len: uint32(n)})
+		data = data[n:]
+	}
+	return refs
+}
+
+// Content-defined chunking: a buzhash (cyclic-polynomial rolling hash)
+// over a sliding window, cutting where the hash matches a mask. Insert
+// or delete a byte and only the chunks around the edit change —
+// useful for append-mostly blobs where fixed boundaries shift.
+const buzWindow = 64
+
+// buzTable maps each byte to a pseudorandom 64-bit value. Generated
+// deterministically from a fixed seed by splitmix64 so every build
+// chunks identically (chunk identity is part of the on-disk format).
+var buzTable = func() [256]uint64 {
+	var t [256]uint64
+	x := uint64(0x6f736d73746f7265) // "osmstore"
+	for i := range t {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+func rotl(v uint64, n uint) uint64 { return v<<n | v>>(64-n) }
+
+// splitRolling cuts data at content-defined boundaries averaging
+// roughly size bytes: cut when the rolling hash's low bits are all
+// set, never before size/2 or after 4×size.
+func splitRolling(data []byte, size int) []ChunkRef {
+	// The mask needs a power of two; round size up so the average
+	// chunk is at least the configured size.
+	mask := uint64(1)
+	for int(mask) < size {
+		mask <<= 1
+	}
+	mask--
+	min, max := size/2, 4*size
+	if min < buzWindow {
+		min = buzWindow
+	}
+
+	refs := make([]ChunkRef, 0, len(data)/size+1)
+	start := 0
+	var h uint64
+	for i := 0; i < len(data); i++ {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+		if i-start+1 >= buzWindow {
+			if i-start+1 > buzWindow {
+				h ^= rotl(buzTable[data[i-buzWindow]], buzWindow)
+			}
+			n := i - start + 1
+			if (n >= min && h&mask == mask) || n >= max {
+				refs = append(refs, ChunkRef{Sum: chunkSum(data[start : i+1]), Len: uint32(n)})
+				start = i + 1
+				h = 0
+			}
+		}
+	}
+	if start < len(data) || len(data) == 0 {
+		rest := data[start:]
+		refs = append(refs, ChunkRef{Sum: chunkSum(rest), Len: uint32(len(rest))})
+	}
+	return refs
+}
+
+// encodeChunk produces the chunk-file bytes for raw: a codec byte and
+// a payload. The flate stage only wins when it actually shrinks the
+// chunk — incompressible chunks stay raw, so the encode never costs
+// more than one byte of overhead.
+func encodeChunk(raw []byte, noCompress bool) []byte {
+	if !noCompress && len(raw) > 0 {
+		var buf bytes.Buffer
+		buf.WriteByte(codecFlate)
+		zw, _ := flate.NewWriter(&buf, flate.BestSpeed)
+		zw.Write(raw)
+		if err := zw.Close(); err == nil && buf.Len() < 1+len(raw) {
+			return buf.Bytes()
+		}
+	}
+	out := make([]byte, 1+len(raw))
+	out[0] = codecRaw
+	copy(out[1:], raw)
+	return out
+}
+
+// DecodeChunk decodes chunk-file bytes back to the raw chunk and
+// verifies it against ref. It is the trust boundary for everything
+// under chunks/: length and content hash must both match the address
+// the caller asked for, and a flate payload may not expand past the
+// declared length.
+func DecodeChunk(file []byte, ref ChunkRef) ([]byte, error) {
+	if ref.Len > maxChunkLen {
+		return nil, fmt.Errorf("chunk %016x-%08x: length exceeds %d-byte ceiling", ref.Sum, ref.Len, maxChunkLen)
+	}
+	if len(file) == 0 {
+		return nil, fmt.Errorf("chunk %016x-%08x: empty file", ref.Sum, ref.Len)
+	}
+	codec, payload := file[0], file[1:]
+	var raw []byte
+	switch codec {
+	case codecRaw:
+		raw = payload
+	case codecFlate:
+		// Bound the inflate to one byte past the declared length: a
+		// conforming payload stops at ref.Len, so hitting the bound
+		// proves the file lies about its size without ever allocating
+		// more than one chunk's worth.
+		zr := flate.NewReader(bytes.NewReader(payload))
+		var err error
+		raw, err = io.ReadAll(io.LimitReader(zr, int64(ref.Len)+1))
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("chunk %016x-%08x: inflate: %w", ref.Sum, ref.Len, err)
+		}
+	default:
+		return nil, fmt.Errorf("chunk %016x-%08x: unknown codec byte %#x", ref.Sum, ref.Len, codec)
+	}
+	if uint32(len(raw)) != ref.Len || len(raw) > maxChunkLen {
+		return nil, fmt.Errorf("chunk %016x-%08x: decoded to %d bytes", ref.Sum, ref.Len, len(raw))
+	}
+	if chunkSum(raw) != ref.Sum {
+		return nil, fmt.Errorf("chunk %016x-%08x: content hash mismatch", ref.Sum, ref.Len)
+	}
+	return raw, nil
+}
+
+// readChunk loads and decodes one chunk from disk. The read is bounded
+// by the addressed length — the codec never stores more than 1+Len
+// bytes — so a corrupt oversized file fails fast instead of being
+// slurped whole.
+func readChunk(root string, ref ChunkRef) ([]byte, error) {
+	f, err := os.Open(chunkPath(root, ref))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	file, err := io.ReadAll(io.LimitReader(f, int64(ref.Len)+2))
+	if err != nil {
+		return nil, fmt.Errorf("chunk %016x-%08x: %w", ref.Sum, ref.Len, err)
+	}
+	if len(file) > int(ref.Len)+1 {
+		return nil, fmt.Errorf("chunk %016x-%08x: file longer than codec allows", ref.Sum, ref.Len)
+	}
+	return DecodeChunk(file, ref)
+}

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// GCOptions configure a sweep.
+type GCOptions struct {
+	// Grace protects recently written files from the sweep: anything
+	// modified within the window is kept even if unreferenced. It
+	// covers the race where another process has written chunks but
+	// not yet renamed the index that references them. 0 sweeps
+	// everything unreferenced (tests; offline stores).
+	Grace time.Duration
+}
+
+// GCStats report what a sweep did.
+type GCStats struct {
+	LiveChunks  int   // chunk files referenced by some index
+	SweptChunks int   // unreferenced chunk files removed
+	SweptBytes  int64 // their on-disk bytes
+	SweptLegacy int   // unreferenced whole-blob .snap files removed
+	LegacyBytes int64 // their on-disk bytes
+	KeptRecent  int   // unreferenced files spared by the grace window
+}
+
+// GC removes every chunk file no run index references and every
+// legacy whole-blob `.snap` file no `.park` metadata references —
+// reference-counted sweep with the indexes and park metadata as the
+// roots. This is what stops a long-lived worker's park directory
+// growing without bound.
+//
+// Safety rules:
+//   - A corrupt or unreadable index aborts the sweep. Its references
+//     are unknown, so nothing can be proven dead.
+//   - An unreadable .park file aborts for the same reason.
+//   - Files younger than Grace are kept regardless (see GCOptions).
+func (s *Store) GC(o GCOptions) (GCStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st GCStats
+
+	// Roots, pass 1: every chunk referenced by any run index.
+	runs, err := s.runsLocked()
+	if err != nil {
+		return st, err
+	}
+	liveChunks := make(map[ChunkRef]bool)
+	for _, run := range runs {
+		entries, err := loadIndex(s.root, run)
+		if err != nil {
+			return st, fmt.Errorf("store gc: index for run %q unreadable, aborting sweep: %w", run, err)
+		}
+		for _, e := range entries {
+			for _, c := range e.Chunks {
+				liveChunks[c] = true
+			}
+		}
+	}
+
+	// Roots, pass 2: every legacy blob named by a .park metadata file.
+	// The store does not own the park format; the one field it needs
+	// is the content checksum, which is stable JSON.
+	liveLegacy := make(map[string]bool)
+	des, err := os.ReadDir(s.root)
+	if err != nil {
+		return st, err
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".park") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.root, de.Name()))
+		if err != nil {
+			return st, fmt.Errorf("store gc: %s unreadable, aborting sweep: %w", de.Name(), err)
+		}
+		var meta struct {
+			Checksum string `json:"checksum"`
+		}
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return st, fmt.Errorf("store gc: %s unparsable, aborting sweep: %w", de.Name(), err)
+		}
+		if meta.Checksum != "" {
+			liveLegacy[meta.Checksum] = true
+		}
+	}
+
+	cutoff := time.Now().Add(-o.Grace)
+	recent := func(path string) bool {
+		if o.Grace <= 0 {
+			return false
+		}
+		info, err := os.Stat(path)
+		return err == nil && info.ModTime().After(cutoff)
+	}
+
+	// Sweep chunks.
+	var sweepErr error
+	err = walkChunks(s.root, func(path string, size int64) {
+		ref, ok := parseChunkName(filepath.Base(path))
+		if ok && liveChunks[ref] {
+			st.LiveChunks++
+			return
+		}
+		if recent(path) {
+			st.KeptRecent++
+			return
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			sweepErr = err
+			return
+		}
+		st.SweptChunks++
+		st.SweptBytes += size
+	})
+	if err == nil {
+		err = sweepErr
+	}
+	if err != nil {
+		return st, err
+	}
+
+	// Sweep legacy whole-blob files and stale temp files.
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		isTmp := strings.HasPrefix(name, ".tmp-")
+		stem, isSnap := strings.CutSuffix(name, ".snap")
+		if !isSnap && !isTmp {
+			continue
+		}
+		if isSnap && liveLegacy[stem] {
+			continue
+		}
+		path := filepath.Join(s.root, name)
+		if recent(path) {
+			st.KeptRecent++
+			continue
+		}
+		var size int64
+		if info, err := de.Info(); err == nil {
+			size = info.Size()
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return st, err
+		}
+		if isSnap {
+			st.SweptLegacy++
+			st.LegacyBytes += size
+		}
+	}
+	return st, nil
+}
+
+// parseChunkName inverts chunkPath's "%016x-%08x.c" naming. Files
+// that don't parse are treated as unreferenced (and swept).
+func parseChunkName(name string) (ChunkRef, bool) {
+	var ref ChunkRef
+	stem, ok := strings.CutSuffix(name, ".c")
+	if !ok || len(stem) != 25 || stem[16] != '-' {
+		return ref, false
+	}
+	var sum, length uint64
+	if _, err := fmt.Sscanf(stem, "%16x-%8x", &sum, &length); err != nil {
+		return ref, false
+	}
+	ref.Sum = sum
+	ref.Len = uint32(length)
+	return ref, true
+}
